@@ -1,0 +1,78 @@
+"""Section 6 robustness ablations: feedback factors and initial
+probabilities.
+
+"the probabilities at each node do not need to increase and decrease by a
+precise factor ... Similarly, the initial values ... may vary from node to
+node, without any significant impact on performance".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments.ablations import (
+    factor_ablation,
+    initial_probability_ablation,
+)
+from repro.experiments.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def factors(scale):
+    return factor_ablation(
+        n=scale.ablation_n, trials=scale.ablation_trials, master_seed=1601
+    )
+
+
+@pytest.fixture(scope="module")
+def initials(scale):
+    return initial_probability_ablation(
+        n=scale.ablation_n, trials=scale.ablation_trials, master_seed=1602
+    )
+
+
+def test_ablation_regenerate(benchmark, scale):
+    def run_small_ablation():
+        return factor_ablation(
+            factor_pairs=((0.5, 2.0), (0.3, 3.0)),
+            n=60,
+            trials=5,
+            master_seed=5,
+        )
+
+    result = benchmark(run_small_ablation)
+    assert len(result.points) == 2
+
+
+def test_factor_robustness(benchmark, factors, scale):
+    rows = [
+        [p.extra["down"], p.extra["up"], f"{p.mean:.1f}", f"{p.std:.1f}"]
+        for p in factors.points
+    ]
+    benchmark(
+        format_table, ["down factor", "up factor", "mean rounds", "std"], rows
+    )
+    report(
+        f"ABLATION (scale={scale.name}): feedback factors on "
+        f"G({scale.ablation_n}, 1/2)",
+        format_table(["down factor", "up factor", "mean rounds", "std"], rows),
+    )
+    baseline = factors.points[0].mean  # (0.5, 2.0) = the paper's algorithm
+    for point in factors.points[1:]:
+        assert point.mean < 3.0 * baseline, point.series
+
+
+def test_initial_probability_robustness(benchmark, initials, scale):
+    rows = [
+        [p.x, f"{p.mean:.1f}", f"{p.std:.1f}"] for p in initials.points
+    ]
+    benchmark(format_table, ["initial p", "mean rounds", "std"], rows)
+    report(
+        f"ABLATION (scale={scale.name}): initial probabilities on "
+        f"G({scale.ablation_n}, 1/2)",
+        format_table(["initial p", "mean rounds", "std"], rows),
+    )
+    baseline = initials.points[0].mean  # p0 = 1/2
+    for point in initials.points[1:]:
+        assert point.mean < 3.0 * baseline, point.series

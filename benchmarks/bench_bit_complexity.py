@@ -1,0 +1,94 @@
+"""Section 5: bit complexity per channel.
+
+"the expected bit complexity per channel for this algorithm does not
+increase at all with the number of nodes."  This bench measures bits per
+channel for the feedback algorithm across sizes (must stay flat and small)
+and contrasts it with the message-passing baselines, whose per-channel
+traffic carries O(log n)-bit values.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.algorithms.feedback import FeedbackMIS
+from repro.algorithms.luby import LubyMIS
+from repro.algorithms.metivier import MetivierMIS
+from repro.beeping.rng import spawn_rng
+from repro.experiments.tables import format_table
+from repro.graphs.random_graphs import gnp_random_graph
+
+
+def _bits_per_channel(run) -> float:
+    if run.graph.num_edges == 0:
+        return 0.0
+    return run.bits / run.graph.num_edges
+
+
+@pytest.fixture(scope="module")
+def bit_sweep(scale):
+    sizes = [n for n in scale.figure5_sizes if n >= 25]
+    trials = max(scale.figure5_trials // 10, 5)
+    algorithms = {
+        "feedback": FeedbackMIS(),
+        "luby-permutation": LubyMIS("permutation"),
+        "metivier": MetivierMIS(),
+    }
+    results = {}
+    for name, algorithm in algorithms.items():
+        per_size = []
+        for size_index, n in enumerate(sizes):
+            values = []
+            for t in range(trials):
+                graph = gnp_random_graph(
+                    n, 0.5, spawn_rng(1900, size_index, t)
+                )
+                run = algorithm.run(graph, spawn_rng(1901, size_index, t))
+                values.append(_bits_per_channel(run))
+            per_size.append(sum(values) / len(values))
+        results[name] = per_size
+    return sizes, trials, results
+
+
+def test_bits_regenerate(benchmark):
+    algorithm = FeedbackMIS()
+
+    def run_once():
+        graph = gnp_random_graph(60, 0.5, spawn_rng(3, 0))
+        return algorithm.run(graph, spawn_rng(4, 0))
+
+    run = benchmark(run_once)
+    assert run.bits > 0
+
+
+def test_bits_per_channel_flat_for_feedback(benchmark, bit_sweep, scale):
+    sizes, trials, results = bit_sweep
+    benchmark(format_table, ["x"], [[s] for s in sizes])
+    rows = []
+    for i, n in enumerate(sizes):
+        rows.append(
+            [
+                n,
+                f"{results['feedback'][i]:.2f}",
+                f"{results['luby-permutation'][i]:.1f}",
+                f"{results['metivier'][i]:.1f}",
+            ]
+        )
+    report(
+        f"SECTION 5 (scale={scale.name}): mean bits per channel on G(n, 1/2)",
+        format_table(
+            ["n", "feedback (1-bit beeps)", "luby (log n-bit values)",
+             "metivier (bitwise values)"],
+            rows,
+        ),
+    )
+    feedback = results["feedback"]
+    # Flat: the largest size costs at most ~2x the smallest, and stays
+    # under a small constant of bits per channel.
+    assert feedback[-1] < 2.0 * feedback[0] + 0.5
+    assert max(feedback) < 8.0
+    # The numeric-message baselines carry far more traffic per channel.
+    assert results["luby-permutation"][-1] > 3.0 * feedback[-1]

@@ -1,0 +1,116 @@
+"""Figure 4: Notch–Delta positive feedback between two cells, plus the
+multicellular SOP pattern (Figure 1B) that motivates the algorithm.
+
+Checked shape:
+
+- two coupled cells with a slight Delta bias end in mutually exclusive
+  signalling states (sender: high Delta / low Notch; receiver: opposite);
+- on a hexagonal cell sheet the emergent high-Delta (SOP) pattern is an
+  independent set covering the sheet — formally an MIS, exactly the
+  correspondence the paper starts from.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.bio.notch_delta import NotchDeltaModel, two_cell_demo
+from repro.bio.sop import analyze_sop_pattern, select_sops_by_delta
+from repro.bio.stochastic import StochasticSOPModel
+from repro.experiments.tables import format_table
+from repro.graphs.structured import hex_lattice_graph
+from repro.viz.graph_render import render_grid_mis
+
+
+def test_fig4_two_cell_benchmark(benchmark):
+    result = benchmark(two_cell_demo)
+    assert result.final_delta[1] > 0.9
+
+
+def test_fig4_mutual_exclusion(benchmark):
+    result = benchmark.pedantic(
+        two_cell_demo, kwargs={"delta_bias": 0.01}, rounds=1, iterations=1
+    )
+    rows = [
+        ["cell 0 (receiver)", f"{result.final_notch[0]:.3f}",
+         f"{result.final_delta[0]:.3f}"],
+        ["cell 1 (sender)", f"{result.final_notch[1]:.3f}",
+         f"{result.final_delta[1]:.3f}"],
+    ]
+    report(
+        "FIGURE 4: Notch-Delta two-cell positive feedback",
+        format_table(["cell", "final Notch", "final Delta"], rows),
+    )
+    assert result.final_delta[1] > 0.9 > 0.1 > result.final_delta[0]
+    assert result.final_notch[0] > 0.9 > 0.1 > result.final_notch[1]
+
+
+def test_fig4_inhibition_threshold(benchmark):
+    """Ablation: the Figure 4 feedback only patterns the sheet when the
+    cis-inhibition is strong enough (the Collier instability threshold)."""
+    from repro.experiments.bio_ablation import inhibition_strength_ablation
+    from repro.experiments.tables import format_table
+
+    result = benchmark.pedantic(
+        inhibition_strength_ablation,
+        kwargs={
+            "strengths": (5.0, 20.0, 100.0, 500.0),
+            "rows": 6,
+            "cols": 6,
+            "trials": 2,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            p.x,
+            f"{p.mean:.3f}",
+            f"{p.extra['mean_sops']:.1f}",
+            f"{p.extra['mis_fraction']:.2f}",
+        ]
+        for p in result.points
+    ]
+    report(
+        "FIGURE 4 ablation: Collier inhibition strength b vs pattern quality",
+        format_table(
+            ["b", "delta separation", "mean SOPs", "MIS fraction"], rows
+        ),
+    )
+    assert result.points[0].extra["mis_fraction"] == 0.0
+    assert result.points[-1].extra["mis_fraction"] == 1.0
+
+
+def test_fig1b_sop_pattern_is_mis(benchmark):
+    rows_n, cols_n = 8, 8
+    graph = hex_lattice_graph(rows_n, cols_n)
+    model = NotchDeltaModel(graph)
+    result = benchmark.pedantic(
+        model.run, args=(Random(4),), kwargs={"t_end": 100.0},
+        rounds=1, iterations=1,
+    )
+    sops = select_sops_by_delta(result.final_delta)
+    pattern = analyze_sop_pattern(graph, sops, result.final_delta)
+
+    stochastic = StochasticSOPModel().run(graph, Random(5))
+    stochastic_pattern = analyze_sop_pattern(graph, stochastic.sops)
+
+    body = (
+        f"Collier ODE model: {pattern.num_sops} SOPs / {pattern.num_cells} "
+        f"cells, adjacent pairs={pattern.adjacent_sop_pairs}, "
+        f"uncovered={pattern.uncovered_cells}, "
+        f"delta separation={pattern.delta_separation:.3f}\n"
+        f"{render_grid_mis(rows_n, cols_n, sops)}\n\n"
+        f"Stochastic accumulation model: {stochastic_pattern.num_sops} SOPs, "
+        f"is MIS = {stochastic_pattern.is_mis}, "
+        f"commit steps = {stochastic.selection_times}"
+    )
+    report("FIGURE 1B: emergent SOP pattern on a hex cell sheet", body)
+
+    assert pattern.is_independent
+    assert pattern.uncovered_cells == 0
+    assert pattern.delta_separation > 0.5
+    assert stochastic_pattern.is_mis

@@ -1,0 +1,71 @@
+"""Figure 5: mean beeps per node vs n on G(n, 1/2).
+
+Paper's claims checked here:
+
+- the feedback algorithm's beeps per node stay bounded (Theorem 6: O(1);
+  measured ≈ 1.1) and do not grow with n;
+- the sweep algorithm's beeps per node grow with n.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments.figures import figure5_series
+from repro.experiments.tables import format_table
+from repro.viz.ascii_plots import plot_experiment
+
+
+@pytest.fixture(scope="module")
+def figure5(scale):
+    return figure5_series(
+        sizes=scale.figure5_sizes,
+        trials=scale.figure5_trials,
+        master_seed=1305,
+    )
+
+
+def test_fig5_regenerate(benchmark, scale):
+    """Benchmark one (sweep, n=max) batch."""
+    from repro.beeping.rng import spawn_rng
+    from repro.engine.batch import run_batch
+    from repro.engine.rules import SweepRule
+    from repro.graphs.random_graphs import gnp_random_graph
+
+    n = scale.figure5_sizes[-1]
+    graph = gnp_random_graph(n, 0.5, spawn_rng(8, 0))
+
+    def run_one_batch():
+        return run_batch(graph, SweepRule, 5, master_seed=98)
+
+    result = benchmark(run_one_batch)
+    assert result.mean_beeps_per_node > 0
+
+
+def test_fig5_shape(benchmark, figure5, scale):
+    sizes = figure5.xs("feedback")
+    feedback = figure5.means("feedback")
+    sweep = figure5.means("afek-sweep")
+    benchmark(plot_experiment, figure5)
+
+    rows = [
+        [int(n), f"{sweep[i]:.2f}", f"{feedback[i]:.2f}", "~1.1"]
+        for i, n in enumerate(sizes)
+    ]
+    table = format_table(
+        ["n", "sweep beeps/node", "feedback beeps/node", "paper (feedback)"],
+        rows,
+    )
+    report(
+        f"FIGURE 5 (scale={scale.name}): mean beeps per node on G(n, 1/2)",
+        table + "\n" + plot_experiment(figure5, y_label="beeps/node"),
+    )
+
+    # Theorem 6 shape: feedback bounded, roughly flat, near the paper's 1.1.
+    assert max(feedback) < 2.5
+    assert feedback[-1] < feedback[0] * 2.0 + 0.5
+    assert 0.6 < feedback[-1] < 2.0
+    # Sweep grows with n and overtakes feedback by a wide margin.
+    assert sweep[-1] > sweep[0] * 1.5
+    assert sweep[-1] > 2.0 * feedback[-1]

@@ -1,0 +1,87 @@
+"""Theorem 1: the Ω(log² n) lower-bound family for global schedules.
+
+The clique family (``side`` copies of K_d for d = 1..side) forces any
+preset global probability sequence to spend ~log n rounds per "scale";
+the locally adaptive feedback algorithm handles all scales simultaneously.
+Checked shape: the sweep/feedback round ratio grows with n, and the sweep
+series fits log² n better than log n.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.analysis.regression import fit_log2, fit_log2_squared
+from repro.experiments.lower_bound import theorem1_experiment
+from repro.experiments.tables import format_table
+from repro.viz.ascii_plots import plot_experiment
+
+
+@pytest.fixture(scope="module")
+def theorem1(scale):
+    return theorem1_experiment(
+        sides=scale.theorem1_sides,
+        trials=scale.theorem1_trials,
+        master_seed=1101,
+    )
+
+
+def test_thm1_regenerate(benchmark, scale):
+    """Benchmark one sweep batch on the largest family member."""
+    from repro.engine.batch import run_batch
+    from repro.engine.rules import SweepRule
+    from repro.graphs.cliques import theorem1_family
+
+    graph = theorem1_family(scale.theorem1_sides[-1])
+
+    def run_one_batch():
+        return run_batch(graph, SweepRule, 5, master_seed=97)
+
+    result = benchmark(run_one_batch)
+    assert result.mean_rounds > 0
+
+
+def test_thm1_separation(benchmark, theorem1, scale):
+    sizes = theorem1.xs("afek-sweep")
+    sweep = theorem1.means("afek-sweep")
+    feedback = theorem1.means("feedback")
+    benchmark(fit_log2_squared, sizes, sweep)
+
+    rows = [
+        [
+            int(n),
+            int(point.extra["side"]),
+            f"{sweep[i]:.1f}",
+            f"{feedback[i]:.1f}",
+            f"{sweep[i] / feedback[i]:.2f}",
+        ]
+        for i, (n, point) in enumerate(
+            zip(sizes, theorem1.series("afek-sweep"))
+        )
+    ]
+    table = format_table(
+        ["n", "side", "sweep rounds", "feedback rounds", "ratio"], rows
+    )
+    sweep_log = fit_log2(sizes, sweep)
+    sweep_sq = fit_log2_squared(sizes, sweep)
+    body = (
+        f"{table}\n\n"
+        f"sweep ~ log2 n fit:   {sweep_log.format()}\n"
+        f"sweep ~ log2^2 n fit: {sweep_sq.format()}\n"
+        + plot_experiment(theorem1, y_label="rounds")
+    )
+    report(
+        f"THEOREM 1 (scale={scale.name}): disjoint-clique lower-bound family",
+        body,
+    )
+
+    # Feedback wins at every size.
+    for i in range(len(sizes)):
+        assert feedback[i] < sweep[i]
+    # The separation does not close as n grows.
+    first_ratio = sweep[0] / feedback[0]
+    last_ratio = sweep[-1] / feedback[-1]
+    assert last_ratio > 0.8 * first_ratio
+    # The sweep's growth is super-logarithmic on this family.
+    assert sweep_sq.r_squared >= sweep_log.r_squared - 0.05

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""MIS as a building block: colouring, matching and domination.
+
+The paper's conclusion notes that MIS selection "can also be used as a
+fundamental building block in algorithms for many other problems in
+distributed computing".  This example powers three classic reductions with
+the paper's feedback algorithm:
+
+1. (Δ+1)-colouring by iterated MIS peeling;
+2. maximal matching as an MIS of the line graph;
+3. an independent dominating set (every MIS is one), compared against the
+   centralised greedy set-cover heuristic.
+
+Run with: ``python examples/building_blocks.py``
+"""
+
+from random import Random
+
+from repro.applications import (
+    greedy_dominating_set,
+    mis_coloring,
+    mis_dominating_set,
+    mis_matching,
+)
+from repro.graphs.random_graphs import gnp_random_graph, watts_strogatz_graph
+
+
+def coloring_demo() -> None:
+    print("=" * 64)
+    print("1. (Delta+1)-colouring by iterated MIS peeling")
+    print("=" * 64)
+    graph = gnp_random_graph(60, 0.15, Random(1))
+    result = mis_coloring(graph, Random(2))
+    print(
+        f"graph: n={graph.num_vertices} m={graph.num_edges} "
+        f"max degree={graph.max_degree()}"
+    )
+    print(
+        f"proper colouring with {result.num_colors} colours "
+        f"(bound: {graph.max_degree() + 1}) in {result.total_rounds} "
+        f"total beeping rounds"
+    )
+    for color, members in sorted(result.color_classes().items()):
+        print(f"  colour {color}: {len(members)} vertices")
+    print()
+
+
+def matching_demo() -> None:
+    print("=" * 64)
+    print("2. Maximal matching via MIS of the line graph")
+    print("=" * 64)
+    graph = watts_strogatz_graph(40, 4, 0.2, Random(3))
+    result = mis_matching(graph, Random(4))
+    print(
+        f"graph: n={graph.num_vertices} m={graph.num_edges} "
+        f"(small-world contact network)"
+    )
+    print(
+        f"matched {result.size} link pairs in {result.rounds} rounds; "
+        f"{len(result.matched_vertices())} of {graph.num_vertices} nodes paired"
+    )
+    print(f"first few matched links: {sorted(result.matching)[:8]}")
+    print()
+
+
+def domination_demo() -> None:
+    print("=" * 64)
+    print("3. Dominating sets: distributed MIS vs centralised greedy")
+    print("=" * 64)
+    print(f"{'n':>5} {'MIS (distributed)':>18} {'greedy (centralised)':>21}")
+    for n in (30, 60, 120):
+        graph = gnp_random_graph(n, 0.1, Random(n))
+        mis_set = mis_dominating_set(graph, Random(n + 1))
+        greedy_set = greedy_dominating_set(graph)
+        print(f"{n:>5} {len(mis_set):>18} {len(greedy_set):>21}")
+    print()
+    print(
+        "The greedy heuristic needs global degree information at every\n"
+        "step; the MIS version runs on one-bit beeps and additionally\n"
+        "guarantees the dominating set is independent."
+    )
+
+
+if __name__ == "__main__":
+    coloring_demo()
+    matching_demo()
+    domination_demo()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Regenerate Figure 3 of the paper from the command line.
+
+Mean rounds to compute an MIS on G(n, 1/2), for the global-sweep baseline
+(Afek et al., DISC 2011) and the paper's local-feedback algorithm, with
+the paper's two reference curves.  Sizes and trials are reduced by default
+so the script finishes in under a minute; pass ``--paper`` for the full
+n = 50..1000, 100-trial version.
+
+Run with: ``python examples/figure3.py [--paper]``
+"""
+
+import argparse
+
+from repro.analysis.regression import fit_log2, fit_log2_squared
+from repro.experiments.figures import figure3_series
+from repro.experiments.records import results_to_csv
+from repro.experiments.tables import format_experiment
+from repro.viz.ascii_plots import plot_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--paper",
+        action="store_true",
+        help="use the paper's full sizes and trial counts (slow)",
+    )
+    parser.add_argument("--csv", action="store_true", help="emit CSV only")
+    args = parser.parse_args()
+
+    if args.paper:
+        sizes = (50, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000)
+        trials = 100
+    else:
+        sizes = (50, 100, 200, 400)
+        trials = 20
+
+    result = figure3_series(sizes=sizes, trials=trials, master_seed=1303)
+    if args.csv:
+        print(results_to_csv(result), end="")
+        return
+
+    print(format_experiment(result))
+    print()
+    print(plot_experiment(result, y_label="rounds"))
+    print()
+    ns = result.xs("feedback")
+    print("fits:")
+    print(f"  feedback ~ {fit_log2(ns, result.means('feedback')).format()}")
+    print(
+        f"  sweep    ~ "
+        f"{fit_log2_squared(ns, result.means('afek-sweep')).format()}"
+    )
+    print()
+    print(
+        "paper: sweep tracks log2^2(n), feedback tracks 2.5*log2(n) "
+        "(both drawn as reference series above)."
+    )
+
+
+if __name__ == "__main__":
+    main()

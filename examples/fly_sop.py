@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""From biology to algorithm: SOP selection in the fly, three ways.
+
+The paper's story in one script:
+
+1. **Figure 4** — the Notch–Delta positive feedback between two cells:
+   a slight Delta excess tips the pair into mutually exclusive
+   sender/receiver states.
+2. **Figure 1B** — on a hexagonal sheet of equivalent cells, lateral
+   inhibition (Collier et al. 1996 ODE model) carves out a fine-grained
+   pattern of SOP cells that is a maximal independent set of the contact
+   graph.
+3. **The abstraction** — the paper's feedback beeping algorithm run on the
+   same contact graph produces the same kind of pattern, in O(log n)
+   rounds, with one-bit messages.
+
+Run with: ``python examples/fly_sop.py``
+"""
+
+from random import Random
+
+from repro import FeedbackMIS
+from repro.bio.notch_delta import NotchDeltaModel, two_cell_demo
+from repro.bio.sop import analyze_sop_pattern, select_sops_by_delta
+from repro.bio.stochastic import StochasticSOPModel
+from repro.graphs.structured import hex_lattice_graph
+from repro.viz.graph_render import render_grid_mis
+
+ROWS, COLS = 8, 10
+
+
+def step1_two_cells() -> None:
+    print("=" * 64)
+    print("1. Figure 4: Notch-Delta feedback between two cells")
+    print("=" * 64)
+    result = two_cell_demo(delta_bias=0.01)
+    print("initial Delta: cell0=0.500, cell1=0.510 (tiny bias)")
+    print(
+        f"final:  cell0 Notch={result.final_notch[0]:.3f} "
+        f"Delta={result.final_delta[0]:.3f}  -> receiver"
+    )
+    print(
+        f"        cell1 Notch={result.final_notch[1]:.3f} "
+        f"Delta={result.final_delta[1]:.3f}  -> sender (SOP fate)"
+    )
+    print("a 2% difference was amplified into mutually exclusive states\n")
+
+
+def step2_cell_sheet() -> None:
+    print("=" * 64)
+    print("2. Figure 1B: lateral inhibition on a hex cell sheet")
+    print("=" * 64)
+    graph = hex_lattice_graph(ROWS, COLS)
+    model = NotchDeltaModel(graph)
+    result = model.run(Random(11), t_end=100.0)
+    sops = select_sops_by_delta(result.final_delta)
+    pattern = analyze_sop_pattern(graph, sops, result.final_delta)
+    print(
+        f"{pattern.num_sops} SOPs among {pattern.num_cells} cells; "
+        f"adjacent SOP pairs: {pattern.adjacent_sop_pairs}; "
+        f"uncovered cells: {pattern.uncovered_cells}"
+    )
+    print(f"pattern is a maximal independent set: {pattern.is_mis}")
+    print(render_grid_mis(ROWS, COLS, sops))
+    print()
+
+    stochastic = StochasticSOPModel().run(graph, Random(12))
+    print(
+        f"stochastic accumulation model: {len(stochastic.sops)} SOPs, "
+        f"committed over steps {stochastic.selection_times[0]}"
+        f"..{stochastic.selection_times[-1]} "
+        f"(spread-out selection times, as observed in the fly)"
+    )
+    print()
+
+
+def step3_algorithm() -> None:
+    print("=" * 64)
+    print("3. The abstraction: the feedback beeping algorithm")
+    print("=" * 64)
+    graph = hex_lattice_graph(ROWS, COLS)
+    run = FeedbackMIS().run(graph, Random(13))
+    run.verify()
+    print(
+        f"MIS of {run.mis_size} 'SOPs' in {run.rounds} rounds, "
+        f"{run.mean_beeps_per_node:.2f} beeps per cell"
+    )
+    print(render_grid_mis(ROWS, COLS, run.mis))
+    print()
+    print(
+        "All three mechanisms solve the same problem on the same contact\n"
+        "graph: cells/nodes end up either selected or adjacent to a\n"
+        "selected one, with no two selected neighbours."
+    )
+
+
+if __name__ == "__main__":
+    step1_two_cells()
+    step2_cell_sheet()
+    step3_algorithm()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Clusterhead election in an ad-hoc wireless sensor network.
+
+The paper's conclusion motivates the algorithm with "ad hoc sensor networks
+and wireless communication systems": nodes are radios that can only shout
+one-bit beeps, know nothing about the network, and must elect a set of
+local leaders (clusterheads) such that every sensor is a leader or hears
+one, and no two leaders interfere — exactly MIS selection.
+
+This example builds a random geometric graph (the standard sensor-network
+model), runs the feedback algorithm under an *unreliable* radio channel
+(dropped and spurious beeps), and reports the elected clusterheads.
+
+Run with: ``python examples/sensor_network.py``
+"""
+
+from random import Random
+
+from repro import FeedbackMIS, FaultModel
+from repro.graphs.random_graphs import random_geometric_graph
+from repro.analysis.statistics import summarize
+
+
+def elect_clusterheads(
+    num_sensors: int = 120,
+    radio_range: float = 0.18,
+    beep_loss: float = 0.1,
+    spurious_rate: float = 0.05,
+    seed: int = 7,
+):
+    """Run one noisy clusterhead election and return (graph, run)."""
+    graph, positions = random_geometric_graph(
+        num_sensors, radio_range, Random(seed), return_positions=True
+    )
+    faults = FaultModel(
+        beep_loss_probability=beep_loss,
+        spurious_beep_probability=spurious_rate,
+    )
+    run = FeedbackMIS().run(graph, Random(seed + 1), faults=faults)
+    run.verify()
+    return graph, positions, run
+
+
+def ascii_map(positions, mis, width: int = 60, height: int = 24) -> str:
+    """Plot sensor positions; clusterheads as '#', others as '.'."""
+    grid = [[" "] * width for _ in range(height)]
+    for v, (x, y) in enumerate(positions):
+        col = min(int(x * width), width - 1)
+        row = min(int(y * height), height - 1)
+        grid[row][col] = "#" if v in mis else "."
+    return "\n".join("".join(row) for row in grid)
+
+
+def main() -> None:
+    print("=" * 64)
+    print("Sensor-network clusterhead election (noisy beeping radio)")
+    print("=" * 64)
+    graph, positions, run = elect_clusterheads()
+    print(
+        f"sensors={graph.num_vertices} links={graph.num_edges} "
+        f"(radio range 0.18 on the unit square)"
+    )
+    print(
+        f"elected {run.mis_size} clusterheads in {run.rounds} rounds "
+        f"under 10% beep loss + 5% spurious beeps"
+    )
+    print(f"mean beeps per sensor: {run.mean_beeps_per_node:.2f}")
+    print()
+    print(ascii_map(positions, run.mis))
+    print()
+
+    # Robustness sweep: how much does radio noise cost?
+    print("noise sweep (20 trials each):")
+    print(f"{'beep loss':>10} {'rounds mean ± std':>20}")
+    for loss in (0.0, 0.1, 0.2, 0.3):
+        rounds = []
+        for trial in range(20):
+            graph_t = random_geometric_graph(
+                120, 0.18, Random(100 + trial)
+            )
+            run_t = FeedbackMIS().run(
+                graph_t,
+                Random(200 + trial),
+                faults=FaultModel(beep_loss_probability=loss),
+            )
+            run_t.verify()
+            rounds.append(run_t.rounds)
+        stats = summarize(rounds)
+        print(f"{loss:>10.1f} {stats.format():>20}")
+    print()
+    print(
+        "The election stays correct at every noise level (verified above);\n"
+        "noise only costs extra rounds — the separation the fault model\n"
+        "guarantees by keeping join/retire notifications reliable."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""repro — reproduction of "Feedback from nature: an optimal distributed
+algorithm for maximal independent set selection" (Scott, Jeavons, Xu;
+PODC 2013).
+
+Quickstart
+----------
+>>> from random import Random
+>>> from repro import FeedbackMIS, gnp_random_graph, verify_mis
+>>> graph = gnp_random_graph(50, 0.5, Random(1))
+>>> run = FeedbackMIS().run(graph, Random(2))
+>>> _ = verify_mis(graph, run.mis)
+
+Packages
+--------
+- :mod:`repro.graphs` — graph type, generators, MIS validation.
+- :mod:`repro.beeping` — the beeping-model runtime (scheduler, channel,
+  faults, traces, metrics).
+- :mod:`repro.core` — the feedback policy, the Figure 2 automaton, the
+  Section 6 robustness variants, the Theorem 2 proof instrumentation.
+- :mod:`repro.algorithms` — the feedback algorithm plus every baseline
+  (Afek sweep/global, Luby, Métivier, greedy, exact MaxIS).
+- :mod:`repro.engine` — vectorised numpy engine for large-scale sweeps.
+- :mod:`repro.bio` — the Notch–Delta lateral-inhibition substrate.
+- :mod:`repro.analysis` — statistics, regression fits, theory curves.
+- :mod:`repro.experiments` — trial runner and per-figure drivers.
+- :mod:`repro.viz` — ASCII plots and graph rendering.
+"""
+
+from repro.algorithms import (
+    AfekGlobalMIS,
+    AfekSweepMIS,
+    FeedbackMIS,
+    LubyMIS,
+    MISAlgorithm,
+    MISRun,
+    MetivierMIS,
+    SequentialGreedyMIS,
+    available_algorithms,
+    greedy_mis,
+    make_algorithm,
+    maximum_independent_set,
+)
+from repro.beeping import (
+    BeepingSimulation,
+    FaultModel,
+    NO_FAULTS,
+    RngStream,
+    SimulationResult,
+    Trace,
+    derive_seed,
+    spawn_rng,
+)
+from repro.core import ExponentFeedbackNode, FeedbackNode
+from repro.graphs import (
+    Graph,
+    GraphBuilder,
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    grid_graph,
+    is_independent_set,
+    is_maximal_independent_set,
+    path_graph,
+    star_graph,
+    theorem1_family,
+    verify_mis,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AfekGlobalMIS",
+    "AfekSweepMIS",
+    "BeepingSimulation",
+    "ExponentFeedbackNode",
+    "FaultModel",
+    "FeedbackMIS",
+    "FeedbackNode",
+    "Graph",
+    "GraphBuilder",
+    "LubyMIS",
+    "MISAlgorithm",
+    "MISRun",
+    "MetivierMIS",
+    "NO_FAULTS",
+    "RngStream",
+    "SequentialGreedyMIS",
+    "SimulationResult",
+    "Trace",
+    "__version__",
+    "available_algorithms",
+    "complete_graph",
+    "cycle_graph",
+    "derive_seed",
+    "gnp_random_graph",
+    "greedy_mis",
+    "grid_graph",
+    "is_independent_set",
+    "is_maximal_independent_set",
+    "make_algorithm",
+    "maximum_independent_set",
+    "path_graph",
+    "spawn_rng",
+    "star_graph",
+    "theorem1_family",
+    "verify_mis",
+]

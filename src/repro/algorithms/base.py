@@ -1,0 +1,111 @@
+"""The common interface of all MIS algorithms.
+
+Every algorithm — beeping or message-passing, distributed or centralised —
+implements :class:`MISAlgorithm` and returns an :class:`MISRun`, so the
+experiment harness can sweep over algorithms uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, Dict, List, Optional, Set
+
+from repro.beeping.faults import FaultModel, NO_FAULTS
+from repro.beeping.events import Trace
+from repro.beeping.scheduler import SimulationResult
+from repro.graphs.graph import Graph
+from repro.graphs.validation import verify_mis
+
+
+@dataclass
+class MISRun:
+    """The outcome of running one MIS algorithm once on one graph.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the algorithm that produced this run.
+    graph:
+        The input graph.
+    mis:
+        The computed maximal independent set.
+    rounds:
+        Synchronous rounds used (1 for centralised algorithms).
+    beeps_by_node:
+        Per-vertex beep counts, for beeping algorithms; ``None`` otherwise.
+    messages:
+        Total messages sent, for message-passing algorithms (a beep counts
+        as one message per incident channel).
+    bits:
+        Total bits sent across all channels.
+    simulation:
+        The underlying :class:`SimulationResult` for beeping algorithms.
+    extra:
+        Algorithm-specific diagnostics.
+    """
+
+    algorithm: str
+    graph: Graph
+    mis: Set[int]
+    rounds: int
+    beeps_by_node: Optional[List[int]] = None
+    messages: int = 0
+    bits: int = 0
+    simulation: Optional[SimulationResult] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def mean_beeps_per_node(self) -> float:
+        """Mean beeps per node; 0.0 for non-beeping algorithms."""
+        if not self.beeps_by_node:
+            return 0.0
+        return sum(self.beeps_by_node) / len(self.beeps_by_node)
+
+    @property
+    def mis_size(self) -> int:
+        """Number of vertices selected."""
+        return len(self.mis)
+
+    def verify(self) -> Set[int]:
+        """Assert the output is a maximal independent set.
+
+        Runs with crashes verify through the underlying simulation (which
+        knows which vertices left the system); clean runs verify directly.
+        """
+        if self.simulation is not None and self.simulation.crashed:
+            return self.simulation.verify()
+        return verify_mis(self.graph, self.mis)
+
+
+class MISAlgorithm(ABC):
+    """An MIS selection algorithm.
+
+    Implementations must be stateless across calls: all per-run state lives
+    inside :meth:`run`, so a single instance can be reused across trials.
+    """
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """A short stable identifier (used by the registry and reports)."""
+
+    @abstractmethod
+    def run(
+        self,
+        graph: Graph,
+        rng: Random,
+        trace: Optional[Trace] = None,
+        faults: FaultModel = NO_FAULTS,
+        max_rounds: int = 100_000,
+    ) -> MISRun:
+        """Compute an MIS of ``graph`` using randomness from ``rng``.
+
+        ``trace`` and ``faults`` are honoured by the beeping algorithms;
+        message-passing and centralised algorithms ignore ``faults`` and may
+        ignore ``trace``.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

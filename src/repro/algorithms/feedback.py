@@ -1,0 +1,80 @@
+"""The paper's algorithm as a runnable :class:`MISAlgorithm`.
+
+This is a thin adapter: the policy lives in :mod:`repro.core.policy`, the
+round semantics in :mod:`repro.beeping.scheduler`.  The adapter exists so
+the feedback algorithm, its robustness variants and the baselines all share
+one calling convention.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Callable, Optional
+
+from repro.algorithms.base import MISAlgorithm, MISRun
+from repro.beeping.events import Trace
+from repro.beeping.faults import FaultModel, NO_FAULTS
+from repro.beeping.node import BeepingNode
+from repro.beeping.scheduler import BeepingSimulation
+from repro.core.policy import ExponentFeedbackNode
+from repro.graphs.graph import Graph
+
+NodeFactory = Callable[[int], BeepingNode]
+
+
+class FeedbackMIS(MISAlgorithm):
+    """The local-feedback beeping MIS algorithm (Definition 1).
+
+    By default every vertex runs the exact exponent policy of the paper
+    (``p = 2^-n(v)``, start ``1/2``, halve on hearing a beep, double
+    otherwise).  A custom ``node_factory`` switches in any of the Section 6
+    robustness variants from :mod:`repro.core.variants`.
+    """
+
+    def __init__(
+        self,
+        node_factory: Optional[NodeFactory] = None,
+        name: str = "feedback",
+    ) -> None:
+        self._node_factory = node_factory or (
+            lambda vertex: ExponentFeedbackNode()
+        )
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def run(
+        self,
+        graph: Graph,
+        rng: Random,
+        trace: Optional[Trace] = None,
+        faults: FaultModel = NO_FAULTS,
+        max_rounds: int = 100_000,
+    ) -> MISRun:
+        simulation = BeepingSimulation(
+            graph,
+            self._node_factory,
+            rng,
+            faults=faults,
+            trace=trace,
+            max_rounds=max_rounds,
+        )
+        result = simulation.run()
+        return MISRun(
+            algorithm=self.name,
+            graph=graph,
+            mis=result.mis,
+            rounds=result.num_rounds,
+            beeps_by_node=list(result.metrics.beeps_by_node),
+            messages=sum(
+                beeps * graph.degree(v)
+                for v, beeps in enumerate(result.metrics.beeps_by_node)
+            ),
+            bits=sum(
+                beeps * graph.degree(v)
+                for v, beeps in enumerate(result.metrics.beeps_by_node)
+            ),
+            simulation=result,
+        )

@@ -1,0 +1,52 @@
+"""A string-keyed registry of the available MIS algorithms.
+
+The CLI and the experiment harness refer to algorithms by name; this module
+is the single place those names are defined.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.algorithms.afek_global import AfekGlobalMIS
+from repro.algorithms.afek_sweep import AfekSweepMIS
+from repro.algorithms.base import MISAlgorithm
+from repro.algorithms.feedback import FeedbackMIS
+from repro.algorithms.greedy import SequentialGreedyMIS
+from repro.algorithms.local_minimum import LocalMinimumIDMIS
+from repro.algorithms.luby import LubyMIS
+from repro.algorithms.metivier import MetivierMIS
+
+_FACTORIES: Dict[str, Callable[[], MISAlgorithm]] = {
+    "feedback": FeedbackMIS,
+    "afek-sweep": AfekSweepMIS,
+    "afek-global": AfekGlobalMIS,
+    "luby-permutation": lambda: LubyMIS("permutation"),
+    "luby-probability": lambda: LubyMIS("probability"),
+    "local-minimum-id": LocalMinimumIDMIS,
+    "metivier": MetivierMIS,
+    "greedy": SequentialGreedyMIS,
+    "greedy-fixed": lambda: SequentialGreedyMIS(randomize_order=False),
+}
+
+
+def available_algorithms() -> List[str]:
+    """Sorted list of registered algorithm names."""
+    return sorted(_FACTORIES)
+
+
+def make_algorithm(name: str) -> MISAlgorithm:
+    """Instantiate a registered algorithm by name.
+
+    Raises
+    ------
+    KeyError
+        With the list of valid names, if ``name`` is unknown.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {available_algorithms()}"
+        ) from None
+    return factory()

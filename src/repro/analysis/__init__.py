@@ -1,0 +1,71 @@
+"""Statistics, regression fits and theoretical reference curves.
+
+- :mod:`~repro.analysis.statistics` — summary statistics with confidence
+  intervals (no scipy dependency in the hot path).
+- :mod:`~repro.analysis.regression` — least-squares fits of the paper's
+  scaling laws (``c·log₂ n`` and ``c·log₂² n``) with goodness-of-fit.
+- :mod:`~repro.analysis.theory` — the reference curves drawn in Figure 3
+  and the clique-progress quantities from the proof of Theorem 1.
+"""
+
+from repro.analysis.statistics import (
+    SummaryStats,
+    confidence_interval,
+    mean,
+    sample_std,
+    standard_error,
+    summarize,
+)
+from repro.analysis.markov import (
+    expected_rounds_complete_graph,
+    expected_rounds_k2,
+)
+from repro.analysis.regression import (
+    FitResult,
+    fit_linear,
+    fit_log2,
+    fit_log2_squared,
+    r_squared,
+)
+from repro.analysis.convergence import (
+    DecayFit,
+    active_series,
+    empirical_half_life,
+    fit_exponential_decay,
+    inactivation_series,
+    rounds_to_fraction,
+)
+from repro.analysis.theory import (
+    clique_progress_probability,
+    clique_progress_upper_bound,
+    expected_rounds_complete_graph_first_join,
+    figure3_feedback_reference,
+    figure3_sweep_reference,
+)
+
+__all__ = [
+    "DecayFit",
+    "FitResult",
+    "SummaryStats",
+    "active_series",
+    "empirical_half_life",
+    "fit_exponential_decay",
+    "inactivation_series",
+    "rounds_to_fraction",
+    "clique_progress_probability",
+    "clique_progress_upper_bound",
+    "confidence_interval",
+    "expected_rounds_complete_graph",
+    "expected_rounds_complete_graph_first_join",
+    "expected_rounds_k2",
+    "figure3_feedback_reference",
+    "figure3_sweep_reference",
+    "fit_linear",
+    "fit_log2",
+    "fit_log2_squared",
+    "mean",
+    "r_squared",
+    "sample_std",
+    "standard_error",
+    "summarize",
+]

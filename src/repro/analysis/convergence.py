@@ -1,0 +1,106 @@
+"""Convergence analysis of simulation runs.
+
+Tools to quantify *how* a run converges, beyond the final round count:
+
+- per-round active-fraction series and its exponential-decay fit (the
+  geometric die-off that makes the O(log n) bound work);
+- the half-life of the active set;
+- round-resolved join/retire throughput.
+
+Used by the Theorem 2 potential benchmark and available for exploratory
+analysis of any traced run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.beeping.metrics import RoundRecord
+
+
+@dataclass(frozen=True)
+class DecayFit:
+    """An exponential fit ``active(t) ≈ active(0) · rate^t``."""
+
+    rate: float
+    r_squared: float
+
+    @property
+    def half_life(self) -> float:
+        """Rounds for the active set to halve under the fitted rate."""
+        if not 0.0 < self.rate < 1.0:
+            return math.inf
+        return math.log(0.5) / math.log(self.rate)
+
+
+def active_series(records: Sequence[RoundRecord]) -> List[int]:
+    """Active-vertex counts at the start of each round."""
+    return [record.active_before for record in records]
+
+
+def inactivation_series(records: Sequence[RoundRecord]) -> List[int]:
+    """Vertices leaving the active set per round (joins + retirements)."""
+    return [record.became_inactive for record in records]
+
+
+def fit_exponential_decay(series: Sequence[int]) -> Optional[DecayFit]:
+    """Least-squares fit of ``log(active)`` against rounds.
+
+    Zero entries terminate the fitted prefix (log undefined); returns
+    ``None`` when fewer than two positive points remain.
+    """
+    points = []
+    for t, value in enumerate(series):
+        if value <= 0:
+            break
+        points.append((float(t), math.log(value)))
+    if len(points) < 2:
+        return None
+    n = len(points)
+    mean_t = sum(t for t, _ in points) / n
+    mean_y = sum(y for _, y in points) / n
+    stt = sum((t - mean_t) ** 2 for t, _ in points)
+    if stt == 0.0:
+        return None
+    sty = sum((t - mean_t) * (y - mean_y) for t, y in points)
+    slope = sty / stt
+    intercept = mean_y - slope * mean_t
+    predictions = [slope * t + intercept for t, _ in points]
+    total = sum((y - mean_y) ** 2 for _, y in points)
+    residual = sum(
+        (y - prediction) ** 2
+        for (_, y), prediction in zip(points, predictions)
+    )
+    r_squared = 1.0 if total == 0.0 else 1.0 - residual / total
+    return DecayFit(rate=math.exp(slope), r_squared=r_squared)
+
+
+def empirical_half_life(series: Sequence[int]) -> Optional[int]:
+    """First round at which the active count drops to half its start.
+
+    ``None`` when the series never halves (e.g. it is empty).
+    """
+    if not series or series[0] <= 0:
+        return None
+    target = series[0] / 2.0
+    for t, value in enumerate(series):
+        if value <= target:
+            return t
+    return None
+
+
+def rounds_to_fraction(
+    series: Sequence[int], fraction: float
+) -> Optional[int]:
+    """First round at which at most ``fraction`` of the start remains."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if not series or series[0] <= 0:
+        return None
+    target = series[0] * fraction
+    for t, value in enumerate(series):
+        if value <= target:
+            return t
+    return None

@@ -1,0 +1,123 @@
+"""Exact Markov-chain analysis of the feedback algorithm on tiny cliques.
+
+For a clique, the feedback algorithm's state is symmetric enough to solve
+*exactly*: every active vertex hears a beep iff at least one other vertex
+beeps, and the run ends when exactly one vertex beeps.  For ``K_2`` the
+joint exponent state ``(n1, n2)`` forms a countable Markov chain; both
+exponents stay equal forever (both nodes hear exactly the other's beeps,
+and the update is deterministic given the observation), which collapses
+the chain to a single exponent value and makes the expected absorption
+time a small linear system.
+
+This gives the test-suite a *closed-form* target to compare simulation
+means against — the strongest kind of cross-validation available for a
+randomised algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def k2_transition_exponent(current: int, heard: bool) -> int:
+    """The Definition 1 exponent update on a clique (shared by both nodes)."""
+    if heard:
+        return current + 1
+    return max(current - 1, 1)
+
+
+def expected_rounds_k2(truncation: int = 60) -> float:
+    """Exact expected rounds of the feedback algorithm on ``K_2``.
+
+    State: the common exponent ``k`` (p = 2^-k); both vertices always hold
+    the same exponent (they start equal and observe symmetric signals:
+    each hears a beep iff the *other* beeped... which differs per node).
+
+    Careful: the two nodes' observations differ (node 1 hears node 2's
+    beep and vice versa), so exponents can *diverge*.  We therefore model
+    the full state ``(a, b)`` of both exponents, truncated at
+    ``truncation``; the truncation error is O(2^-truncation).
+
+    Transitions from state ``(a, b)`` with ``p = 2^-a``, ``q = 2^-b``:
+
+    - both beep (pq): both hear → (a+1, b+1);
+    - only node 1 beeps (p(1-q)): node 1 joins → absorbed;
+    - only node 2 beeps ((1-p)q): absorbed;
+    - neither beeps ((1-p)(1-q)): neither hears → (a-1, b-1) floored at 1.
+    """
+    if truncation < 2:
+        raise ValueError("truncation must be >= 2")
+    size = truncation * truncation
+
+    def index(a: int, b: int) -> int:
+        return (a - 1) * truncation + (b - 1)
+
+    transition = np.zeros((size, size))
+    for a in range(1, truncation + 1):
+        for b in range(1, truncation + 1):
+            p = 2.0 ** -a
+            q = 2.0 ** -b
+            row = index(a, b)
+            both = p * q
+            neither = (1.0 - p) * (1.0 - q)
+            up_a = min(a + 1, truncation)
+            up_b = min(b + 1, truncation)
+            down_a = max(a - 1, 1)
+            down_b = max(b - 1, 1)
+            transition[row, index(up_a, up_b)] += both
+            transition[row, index(down_a, down_b)] += neither
+            # Absorption mass p(1-q) + (1-p)q leaves the system.
+    # Expected absorption time: t = 1 + P t  =>  (I - P) t = 1.
+    times = np.linalg.solve(np.eye(size) - transition, np.ones(size))
+    return float(times[index(1, 1)])
+
+
+def expected_rounds_complete_graph(
+    n: int, truncation: int = 24, max_iterations: int = 100_000
+) -> float:
+    """Expected rounds on ``K_n`` with the *common-exponent* approximation.
+
+    On a clique all vertices receive nearly symmetric feedback, so to good
+    approximation they share one exponent ``k``: with ``p = 2^-k``,
+
+    - exactly one vertex beeps (prob ``n·p·(1-p)^{n-1}``): absorbed;
+    - no vertex beeps (``(1-p)^n``): ``k ← max(k-1, 1)``;
+    - two or more beep (rest): every vertex hears a beep, ``k ← k+1``.
+
+    (This is exact for the *first* divergence-free phase and matches
+    simulation closely for all n tested; the exact K_2 chain above is the
+    reference for the two-node case.)
+    """
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    size = truncation
+    transition = np.zeros((size, size))
+    for k in range(1, truncation + 1):
+        p = 2.0 ** -k
+        absorbed = n * p * (1.0 - p) ** (n - 1)
+        silent = (1.0 - p) ** n
+        noisy = max(1.0 - absorbed - silent, 0.0)
+        row = k - 1
+        transition[row, max(k - 1, 1) - 1] += silent
+        transition[row, min(k + 1, truncation) - 1] += noisy
+    times = np.linalg.solve(np.eye(size) - transition, np.ones(size))
+    return float(times[0])
+
+
+def simulated_rounds_k2(trials: int, seed: int) -> List[int]:
+    """Simulation counterpart of :func:`expected_rounds_k2`."""
+    from random import Random
+
+    from repro.algorithms.feedback import FeedbackMIS
+    from repro.graphs.graph import Graph
+
+    graph = Graph(2, [(0, 1)])
+    algorithm = FeedbackMIS()
+    rng = Random(seed)
+    rounds = []
+    for _trial in range(trials):
+        run = algorithm.run(graph, Random(rng.getrandbits(48)))
+        rounds.append(run.rounds)
+    return rounds

@@ -1,0 +1,111 @@
+"""Least-squares fits of the paper's scaling laws.
+
+Figure 3's claim is quantitative: the sweep algorithm's mean round count
+tracks ``log₂² n`` while the feedback algorithm's tracks ``2.5 log₂ n``.
+The benchmark harness checks those claims by fitting
+
+    rounds ≈ c · log₂(n) + b       (:func:`fit_log2`)
+    rounds ≈ c · log₂(n)² + b      (:func:`fit_log2_squared`)
+
+and comparing the coefficient ``c`` and the goodness-of-fit of the two
+models.  Plain closed-form simple linear regression, from scratch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """The result of a simple linear regression ``y ≈ slope·f(x) + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    feature_name: str
+
+    def predict(self, feature_value: float) -> float:
+        """Predicted y at a given *feature* value (i.e. f(x), not x)."""
+        return self.slope * feature_value + self.intercept
+
+    def format(self) -> str:
+        """e.g. ``y = 2.41·log2(n) + 1.3 (R²=0.992)``."""
+        return (
+            f"y = {self.slope:.3g}·{self.feature_name} + "
+            f"{self.intercept:.3g} (R²={self.r_squared:.4f})"
+        )
+
+
+def _simple_regression(
+    features: Sequence[float], ys: Sequence[float], feature_name: str
+) -> FitResult:
+    if len(features) != len(ys):
+        raise ValueError("features and ys must have equal length")
+    if len(features) < 2:
+        raise ValueError("regression needs at least 2 points")
+    n = len(features)
+    mean_x = sum(features) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in features)
+    if sxx == 0.0:
+        raise ValueError("all feature values identical; slope undefined")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(features, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    predictions = [slope * x + intercept for x in features]
+    return FitResult(
+        slope=slope,
+        intercept=intercept,
+        r_squared=r_squared(ys, predictions),
+        feature_name=feature_name,
+    )
+
+
+def r_squared(ys: Sequence[float], predictions: Sequence[float]) -> float:
+    """Coefficient of determination; 1.0 when the y-variance is zero and
+    the predictions are exact."""
+    if len(ys) != len(predictions):
+        raise ValueError("ys and predictions must have equal length")
+    n = len(ys)
+    if n == 0:
+        raise ValueError("r_squared of empty sample")
+    mean_y = sum(ys) / n
+    total = sum((y - mean_y) ** 2 for y in ys)
+    residual = sum((y - p) ** 2 for y, p in zip(ys, predictions))
+    if total == 0.0:
+        return 1.0 if residual == 0.0 else 0.0
+    return 1.0 - residual / total
+
+
+def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Fit ``y ≈ slope·x + intercept``."""
+    return _simple_regression(list(xs), list(ys), "x")
+
+
+def fit_log2(ns: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Fit ``y ≈ slope·log₂(n) + intercept`` (the Theorem 2 / feedback law)."""
+    features = [math.log2(n) for n in ns]
+    return _simple_regression(features, list(ys), "log2(n)")
+
+
+def fit_log2_squared(ns: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Fit ``y ≈ slope·log₂²(n) + intercept`` (the sweep / Theorem 1 law)."""
+    features = [math.log2(n) ** 2 for n in ns]
+    return _simple_regression(features, list(ys), "log2(n)^2")
+
+
+def best_model(
+    ns: Sequence[float], ys: Sequence[float]
+) -> Tuple[str, FitResult]:
+    """Which of the two scaling laws fits better (by R²).
+
+    Returns ``("log2", fit)`` or ``("log2_squared", fit)``.
+    """
+    log_fit = fit_log2(ns, ys)
+    square_fit = fit_log2_squared(ns, ys)
+    if log_fit.r_squared >= square_fit.r_squared:
+        return ("log2", log_fit)
+    return ("log2_squared", square_fit)

@@ -1,0 +1,110 @@
+"""Summary statistics for trial results.
+
+Implemented from scratch (Welford accumulation, normal-approximation
+confidence intervals) so the experiment harness has no heavyweight
+dependencies; numpy arrays are accepted anywhere a sequence is.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+# Two-sided z-values for the confidence levels the harness reports.
+_Z_VALUES = {
+    0.80: 1.2815515655446004,
+    0.90: 1.6448536269514722,
+    0.95: 1.959963984540054,
+    0.99: 2.5758293035489004,
+}
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def sample_std(values: Sequence[float]) -> float:
+    """Sample standard deviation (ddof=1); 0.0 for fewer than 2 values."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((x - m) ** 2 for x in values) / (len(values) - 1))
+
+
+def standard_error(values: Sequence[float]) -> float:
+    """Standard error of the mean."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    return sample_std(values) / math.sqrt(len(values))
+
+
+def confidence_interval(
+    values: Sequence[float], level: float = 0.95
+) -> Tuple[float, float]:
+    """Normal-approximation CI for the mean at the given level.
+
+    Only the levels 0.80, 0.90, 0.95 and 0.99 are supported (the z-table is
+    embedded to avoid a scipy dependency).
+    """
+    if level not in _Z_VALUES:
+        raise ValueError(
+            f"level must be one of {sorted(_Z_VALUES)}, got {level}"
+        )
+    values = list(values)
+    m = mean(values)
+    half_width = _Z_VALUES[level] * standard_error(values)
+    return (m - half_width, m + half_width)
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean/std/extremes summary of one sample."""
+
+    count: int
+    mean: float
+    std: float
+    sem: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def format(self, precision: int = 2) -> str:
+        """Short human-readable rendering, e.g. ``12.30 ± 1.40 (n=100)``."""
+        return (
+            f"{self.mean:.{precision}f} ± {self.std:.{precision}f} "
+            f"(n={self.count})"
+        )
+
+
+def median(values: Sequence[float]) -> float:
+    """Sample median; raises on empty input."""
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("median of empty sequence")
+    k = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return float(ordered[k])
+    return (ordered[k - 1] + ordered[k]) / 2.0
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Compute :class:`SummaryStats` of a non-empty sample."""
+    values = [float(x) for x in values]
+    if not values:
+        raise ValueError("summarize of empty sequence")
+    return SummaryStats(
+        count=len(values),
+        mean=mean(values),
+        std=sample_std(values),
+        sem=standard_error(values),
+        minimum=min(values),
+        maximum=max(values),
+        median=median(values),
+    )

@@ -1,0 +1,79 @@
+"""Theoretical reference quantities from the paper.
+
+Two groups:
+
+- the reference curves drawn in Figure 3 (``log₂² n`` dashed, ``2.5 log₂ n``
+  dotted — "all logarithms to base 2");
+- the clique-progress quantities used in the proof of Theorem 1: a copy of
+  ``K_d`` gains an MIS vertex in a step exactly when *exactly one* of its
+  ``d`` vertices beeps, which happens with probability ``d·p·(1-p)^(d-1)``;
+  inequality (1) of the paper bounds this by ``d·p·e^{-(d-1)p}`` and the
+  proof shows the bound ``3/(2e)`` for ``d > 2``.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def figure3_sweep_reference(n: float) -> float:
+    """The upper dashed line of Figure 3: ``log₂²(n)``."""
+    if n <= 1:
+        return 0.0
+    return math.log2(n) ** 2
+
+
+def figure3_feedback_reference(n: float) -> float:
+    """The lower dotted line of Figure 3: ``2.5·log₂(n)``."""
+    if n <= 1:
+        return 0.0
+    return 2.5 * math.log2(n)
+
+
+def clique_progress_probability(d: int, p: float) -> float:
+    """P[exactly one vertex of K_d beeps] = ``d·p·(1-p)^(d-1)``.
+
+    This is the probability that the clique makes progress (one vertex
+    joins the MIS, the rest retire) in a round where all vertices beep with
+    probability ``p``.
+    """
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    return d * p * (1.0 - p) ** (d - 1)
+
+
+def clique_progress_upper_bound(d: int, p: float) -> float:
+    """Inequality (1) of the paper: ``d·p·e^{-(d-1)p}``."""
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    return d * p * math.exp(-(d - 1) * p)
+
+
+MAX_CLIQUE_PROGRESS_BOUND = 3.0 / (2.0 * math.e)
+"""The proof's uniform bound on the progress probability for ``d > 2``."""
+
+
+def expected_rounds_complete_graph_first_join(n: int, p: float = 0.5) -> float:
+    """Expected rounds for a *fixed-probability* K_n to see its first join.
+
+    The paper's Section 4 observation: in a complete graph with every node
+    beeping at probability ``p = 1/2``, the per-round success probability is
+    ``n/2^n``, so the first join is exponentially slow — this is why the
+    feedback mechanism (which drives p down toward 1/n) is essential and
+    why Luby-style per-round edge-count arguments do not apply.
+    """
+    success = clique_progress_probability(n, p)
+    if success <= 0.0:
+        return math.inf
+    return 1.0 / success
+
+
+def optimal_clique_probability(d: int) -> float:
+    """The p maximising :func:`clique_progress_probability` for K_d: 1/d."""
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+    return 1.0 / d

@@ -1,0 +1,55 @@
+"""MIS as a building block (the paper's conclusion, made concrete).
+
+"Selecting a maximal independent set can also be used as a fundamental
+building block in algorithms for many other problems in distributed
+computing."  This package implements three classic reductions, each usable
+with *any* registered MIS algorithm (so the feedback algorithm's one-bit
+beeping machinery directly powers them):
+
+- :mod:`~repro.applications.coloring` — vertex colouring with at most
+  Δ+1 colours by iterated MIS peeling.
+- :mod:`~repro.applications.matching` — maximal matching via an MIS of the
+  line graph.
+- :mod:`~repro.applications.dominating` — an MIS is an independent
+  dominating set; comparison against the greedy set-cover heuristic.
+"""
+
+from repro.applications.coloring import (
+    ColoringResult,
+    mis_coloring,
+    verify_coloring,
+)
+from repro.applications.matching import (
+    MatchingResult,
+    line_graph,
+    mis_matching,
+    verify_maximal_matching,
+)
+from repro.applications.dominating import (
+    greedy_dominating_set,
+    mis_dominating_set,
+    verify_dominating_set,
+)
+from repro.applications.ruling_sets import (
+    graph_power,
+    hop_distance,
+    ruling_set,
+    verify_ruling_set,
+)
+
+__all__ = [
+    "ColoringResult",
+    "MatchingResult",
+    "graph_power",
+    "greedy_dominating_set",
+    "hop_distance",
+    "line_graph",
+    "ruling_set",
+    "verify_ruling_set",
+    "mis_coloring",
+    "mis_dominating_set",
+    "mis_matching",
+    "verify_coloring",
+    "verify_dominating_set",
+    "verify_maximal_matching",
+]

@@ -1,0 +1,74 @@
+"""Dominating sets from MIS selection.
+
+Every maximal independent set is a dominating set (maximality is exactly
+domination), and it is additionally *independent* — the combination the
+fly's SOP pattern realises.  For comparison, the classic centralised greedy
+set-cover heuristic for plain domination is included: it may pick fewer
+vertices (it is allowed to pick adjacent ones) but needs global degree
+information, which beeping nodes do not have.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Iterable, Optional, Set
+
+from repro.algorithms.base import MISAlgorithm
+from repro.algorithms.feedback import FeedbackMIS
+from repro.graphs.graph import Graph
+
+
+def verify_dominating_set(graph: Graph, vertices: Iterable[int]) -> Set[int]:
+    """Assert every vertex is in the set or adjacent to it.
+
+    Raises
+    ------
+    AssertionError
+        Naming the first undominated vertex otherwise.
+    """
+    dominating = set(vertices)
+    for v in graph.vertices():
+        if v in dominating:
+            continue
+        if not any(w in dominating for w in graph.neighbors(v)):
+            raise AssertionError(f"vertex {v} is not dominated")
+    return dominating
+
+
+def mis_dominating_set(
+    graph: Graph,
+    rng: Random,
+    algorithm: Optional[MISAlgorithm] = None,
+) -> Set[int]:
+    """An independent dominating set via any MIS algorithm (default:
+    the paper's feedback algorithm)."""
+    algorithm = algorithm or FeedbackMIS()
+    run = algorithm.run(graph, rng)
+    run.verify()
+    return verify_dominating_set(graph, run.mis)
+
+
+def greedy_dominating_set(graph: Graph) -> Set[int]:
+    """The centralised greedy set-cover heuristic (ln Δ approximation).
+
+    Repeatedly picks the vertex dominating the most currently undominated
+    vertices (ties broken by vertex id for determinism).
+    """
+    undominated = set(graph.vertices())
+    chosen: Set[int] = set()
+    while undominated:
+        best_vertex = -1
+        best_gain = -1
+        for v in graph.vertices():
+            if v in chosen:
+                continue
+            gain = (1 if v in undominated else 0) + sum(
+                1 for w in graph.neighbors(v) if w in undominated
+            )
+            if gain > best_gain:
+                best_gain = gain
+                best_vertex = v
+        chosen.add(best_vertex)
+        undominated.discard(best_vertex)
+        undominated.difference_update(graph.neighbors(best_vertex))
+    return verify_dominating_set(graph, chosen)

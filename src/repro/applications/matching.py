@@ -1,0 +1,99 @@
+"""Maximal matching via an MIS of the line graph.
+
+Two edges of ``G`` conflict when they share an endpoint, i.e. when they are
+adjacent in the line graph ``L(G)``.  A maximal independent set of ``L(G)``
+is therefore exactly a maximal matching of ``G`` — the standard reduction.
+In a beeping network the line-graph nodes are the radio links; running the
+feedback algorithm "on the links" costs O(log m) expected rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import List, Optional, Set, Tuple
+
+from repro.algorithms.base import MISAlgorithm
+from repro.algorithms.feedback import FeedbackMIS
+from repro.graphs.graph import Graph, GraphBuilder
+
+Edge = Tuple[int, int]
+
+
+def line_graph(graph: Graph) -> Tuple[Graph, List[Edge]]:
+    """The line graph ``L(G)`` and the edge list indexing its vertices.
+
+    Vertex ``i`` of the line graph is ``edges[i]``; two line-graph vertices
+    are adjacent iff the corresponding edges share an endpoint.
+    """
+    edges = list(graph.edges())
+    index_by_edge = {edge: i for i, edge in enumerate(edges)}
+    builder = GraphBuilder(len(edges))
+    for v in graph.vertices():
+        incident = [
+            index_by_edge[(min(v, w), max(v, w))] for w in graph.neighbors(v)
+        ]
+        builder.add_clique(sorted(incident))
+    return builder.build(), edges
+
+
+def verify_maximal_matching(graph: Graph, matching: Set[Edge]) -> Set[Edge]:
+    """Assert ``matching`` is a maximal matching of ``graph``.
+
+    Raises
+    ------
+    AssertionError
+        If two matched edges share an endpoint, a matched edge is missing
+        from the graph, or some graph edge could still be added.
+    """
+    matched_vertices: Set[int] = set()
+    for u, v in matching:
+        if not graph.has_edge(u, v):
+            raise AssertionError(f"({u}, {v}) is not an edge of the graph")
+        if u in matched_vertices or v in matched_vertices:
+            raise AssertionError(
+                f"matched edge ({u}, {v}) shares an endpoint with another"
+            )
+        matched_vertices.add(u)
+        matched_vertices.add(v)
+    for u, v in graph.edges():
+        if u not in matched_vertices and v not in matched_vertices:
+            raise AssertionError(
+                f"matching is not maximal: edge ({u}, {v}) could be added"
+            )
+    return set(matching)
+
+
+@dataclass
+class MatchingResult:
+    """A maximal matching produced through the line-graph reduction."""
+
+    graph: Graph
+    matching: Set[Edge]
+    rounds: int
+
+    @property
+    def size(self) -> int:
+        """Number of matched edges."""
+        return len(self.matching)
+
+    def matched_vertices(self) -> Set[int]:
+        """All endpoints of matched edges."""
+        return {v for edge in self.matching for v in edge}
+
+
+def mis_matching(
+    graph: Graph,
+    rng: Random,
+    algorithm: Optional[MISAlgorithm] = None,
+) -> MatchingResult:
+    """Compute a maximal matching of ``graph`` via MIS on ``L(G)``."""
+    algorithm = algorithm or FeedbackMIS()
+    lg, edges = line_graph(graph)
+    if lg.num_vertices == 0:
+        return MatchingResult(graph=graph, matching=set(), rounds=0)
+    run = algorithm.run(lg, rng)
+    run.verify()
+    matching = {edges[i] for i in run.mis}
+    verify_maximal_matching(graph, matching)
+    return MatchingResult(graph=graph, matching=matching, rounds=run.rounds)

@@ -1,0 +1,68 @@
+"""The beeping-model runtime.
+
+This package implements the synchronous "beeping" model of distributed
+computing used by the paper (following Afek et al., DISC 2011): time is
+divided into discrete rounds; in each round every active node may emit a
+one-bit *beep*, and each node observes only the OR of its neighbours' beeps
+— it learns whether at least one neighbour beeped, not which or how many.
+
+The runtime is deliberately split into small pieces:
+
+- :mod:`~repro.beeping.rng` — deterministic seed derivation.
+- :mod:`~repro.beeping.node` — the per-node protocol every beeping MIS
+  algorithm implements.
+- :mod:`~repro.beeping.faults` — channel/node fault models for the
+  robustness experiments.
+- :mod:`~repro.beeping.channel` — one-round beep propagation under a fault
+  model.
+- :mod:`~repro.beeping.events` — structured trace events.
+- :mod:`~repro.beeping.metrics` — per-round and per-node accounting.
+- :mod:`~repro.beeping.scheduler` — the synchronous round loop
+  (:class:`BeepingSimulation`).
+"""
+
+from repro.beeping.channel import BeepChannel
+from repro.beeping.events import (
+    NodeJoinedEvent,
+    NodeRetiredEvent,
+    RoundEvent,
+    Trace,
+)
+from repro.beeping.faults import CrashSchedule, FaultModel, NO_FAULTS
+from repro.beeping.metrics import RoundRecord, SimulationMetrics
+from repro.beeping.node import BeepingNode, NodeState
+from repro.beeping.rng import RngStream, derive_seed, spawn_rng
+from repro.beeping.scheduler import (
+    BeepingSimulation,
+    SimulationResult,
+    TerminationError,
+)
+from repro.beeping.wakeup import (
+    WakeupResult,
+    WakeupSimulation,
+    random_wake_schedule,
+)
+
+__all__ = [
+    "BeepChannel",
+    "BeepingNode",
+    "BeepingSimulation",
+    "CrashSchedule",
+    "FaultModel",
+    "NO_FAULTS",
+    "NodeJoinedEvent",
+    "NodeRetiredEvent",
+    "NodeState",
+    "RngStream",
+    "RoundEvent",
+    "RoundRecord",
+    "SimulationMetrics",
+    "SimulationResult",
+    "TerminationError",
+    "Trace",
+    "WakeupResult",
+    "WakeupSimulation",
+    "derive_seed",
+    "random_wake_schedule",
+    "spawn_rng",
+]

@@ -1,0 +1,87 @@
+"""Fault models for robustness experiments.
+
+The paper argues (Section 6) that the feedback algorithm is "highly robust".
+To test that claim beyond the clean model, the channel supports three kinds
+of injected faults:
+
+- **beep loss** — each transmitted beep is dropped independently on each
+  receiving edge with probability ``beep_loss_probability`` (an unreliable
+  radio link);
+- **spurious beeps** — each listening node hears a phantom beep with
+  probability ``spurious_beep_probability`` (background noise);
+- **crashes** — a :class:`CrashSchedule` removes nodes at fixed rounds
+  (fail-stop processes).
+
+Faults only perturb the *first* exchange (the probability feedback); the
+second exchange (join/retire notifications) stays reliable so that the
+output remains a well-defined independent set — exactly the separation the
+paper's robustness discussion assumes, since only the feedback path is
+claimed to tolerate noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Set, Tuple
+
+
+@dataclass(frozen=True)
+class CrashSchedule:
+    """Fail-stop crashes: vertex ``v`` crashes at the start of round ``r``.
+
+    Crashed nodes never beep, never join the MIS and do not count as
+    uncovered for termination purposes (they have left the system).
+    """
+
+    crashes: Mapping[int, FrozenSet[int]] = field(default_factory=dict)
+
+    @staticmethod
+    def from_pairs(pairs: Iterable[Tuple[int, int]]) -> "CrashSchedule":
+        """Build from ``(round, vertex)`` pairs."""
+        by_round: Dict[int, Set[int]] = {}
+        for round_index, vertex in pairs:
+            if round_index < 0:
+                raise ValueError(f"round must be >= 0, got {round_index}")
+            by_round.setdefault(round_index, set()).add(vertex)
+        return CrashSchedule(
+            {r: frozenset(vs) for r, vs in by_round.items()}
+        )
+
+    def crashed_at(self, round_index: int) -> FrozenSet[int]:
+        """Vertices that crash at the start of the given round."""
+        return self.crashes.get(round_index, frozenset())
+
+    def is_empty(self) -> bool:
+        """Whether the schedule contains no crashes at all."""
+        return not self.crashes
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Channel and node fault parameters for one simulation.
+
+    The default-constructed model is fault-free; use :data:`NO_FAULTS` for
+    the common case.
+    """
+
+    beep_loss_probability: float = 0.0
+    spurious_beep_probability: float = 0.0
+    crash_schedule: CrashSchedule = field(default_factory=CrashSchedule)
+
+    def __post_init__(self) -> None:
+        for name in ("beep_loss_probability", "spurious_beep_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+    @property
+    def is_fault_free(self) -> bool:
+        """Whether this model injects no faults at all."""
+        return (
+            self.beep_loss_probability == 0.0
+            and self.spurious_beep_probability == 0.0
+            and self.crash_schedule.is_empty()
+        )
+
+
+NO_FAULTS = FaultModel()

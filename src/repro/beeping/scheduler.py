@@ -1,0 +1,298 @@
+"""The synchronous round loop of the beeping model.
+
+One :class:`BeepingSimulation` executes one algorithm instance on one graph.
+Each round has the two-exchange structure shared by all the paper's beeping
+algorithms:
+
+1. **First exchange.**  Every active node beeps with its current
+   probability; every active node then observes whether at least one
+   neighbour beeped and feeds that observation back into its policy.
+2. **Second exchange.**  A node that beeped while *no neighbour actually
+   beeped* joins the MIS and announces it; active neighbours of joiners
+   retire.
+
+Fault handling: the injected channel faults (:mod:`repro.beeping.faults`)
+perturb only the *observation* used for probability feedback.  Join
+eligibility and join/retire notifications are computed from the true beep
+sets, so the output is a valid MIS even under heavy noise — noise can only
+slow the algorithm down.  This matches the separation assumed by the paper's
+robustness discussion, which concerns the probability-adaptation path.
+
+The scheduler owns all state transitions; policies (:class:`BeepingNode`)
+only choose probabilities.  This makes it impossible for a policy bug to
+produce a non-independent or non-maximal output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.beeping.channel import BeepChannel
+from repro.beeping.events import RoundEvent, Trace
+from repro.beeping.faults import FaultModel, NO_FAULTS
+from repro.beeping.metrics import RoundRecord, SimulationMetrics
+from repro.beeping.node import BeepingNode, NodeState
+from repro.graphs.graph import Graph
+from repro.graphs.validation import MISValidationError
+
+NodeFactory = Callable[[int], BeepingNode]
+
+DEFAULT_MAX_ROUNDS = 100_000
+
+
+class TerminationError(RuntimeError):
+    """Raised when a simulation exceeds its round budget.
+
+    For the algorithms in this library the expected round count is
+    logarithmic (feedback) or polylogarithmic (global sweep), so hitting the
+    default budget of 100,000 rounds indicates a bug, not bad luck.
+    """
+
+
+@dataclass
+class SimulationResult:
+    """The outcome of one completed simulation."""
+
+    graph: Graph
+    mis: Set[int]
+    states: List[NodeState]
+    metrics: SimulationMetrics
+    trace: Optional[Trace]
+    crashed: Set[int]
+
+    @property
+    def num_rounds(self) -> int:
+        """Rounds until every surviving node became inactive."""
+        return self.metrics.num_rounds
+
+    @property
+    def mean_beeps_per_node(self) -> float:
+        """Mean beeps per node (the Figure 5 quantity)."""
+        return self.metrics.mean_beeps_per_node
+
+    def bits_per_channel(self) -> float:
+        """Mean bits sent per channel over the whole run.
+
+        Each beep of ``v`` costs one bit on each of ``deg(v)`` channels.
+        """
+        if self.graph.num_edges == 0:
+            return 0.0
+        total_bits = sum(
+            beeps * self.graph.degree(v)
+            for v, beeps in enumerate(self.metrics.beeps_by_node)
+        )
+        return total_bits / self.graph.num_edges
+
+    def verify(self) -> Set[int]:
+        """Assert the output is an MIS of the surviving graph.
+
+        Independence must hold among MIS members; every surviving
+        (non-crashed) vertex must be in the MIS or adjacent to an MIS
+        member.  Crashed vertices are excluded from the maximality
+        requirement: they left the system.
+        """
+        for u in sorted(self.mis):
+            if u in self.crashed:
+                raise MISValidationError(f"crashed vertex {u} is in the MIS")
+            for w in self.graph.neighbors(u):
+                if w in self.mis:
+                    raise MISValidationError(
+                        f"set is not independent: edge ({u}, {w}) inside MIS"
+                    )
+        for v in self.graph.vertices():
+            if v in self.mis or v in self.crashed:
+                continue
+            if not any(w in self.mis for w in self.graph.neighbors(v)):
+                raise MISValidationError(
+                    f"set is not maximal: vertex {v} is uncovered"
+                )
+        return set(self.mis)
+
+
+class BeepingSimulation:
+    """Runs one beeping MIS algorithm on one graph.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph.
+    node_factory:
+        Called once per vertex to create its probability policy.
+    rng:
+        Source of all randomness for this run.
+    faults:
+        Optional fault model (default: fault-free).
+    trace:
+        Optional :class:`Trace` to fill with per-round events.
+    max_rounds:
+        Round budget; exceeding it raises :class:`TerminationError`.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        node_factory: NodeFactory,
+        rng: Random,
+        faults: FaultModel = NO_FAULTS,
+        trace: Optional[Trace] = None,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+    ) -> None:
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        self._graph = graph
+        self._rng = rng
+        self._channel = BeepChannel(graph, faults)
+        self._faults = faults
+        self._trace = trace
+        self._max_rounds = max_rounds
+        self._nodes: List[BeepingNode] = [
+            node_factory(v) for v in graph.vertices()
+        ]
+        self._states: List[NodeState] = [NodeState.ACTIVE] * graph.num_vertices
+        self._crashed: Set[int] = set()
+        self._metrics = SimulationMetrics(graph.num_vertices)
+        self._round_index = 0
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests and instrumentation)
+    # ------------------------------------------------------------------
+
+    @property
+    def round_index(self) -> int:
+        """The index of the next round to execute."""
+        return self._round_index
+
+    @property
+    def states(self) -> List[NodeState]:
+        """Current node states (a live view; do not mutate)."""
+        return self._states
+
+    def active_vertices(self) -> List[int]:
+        """Sorted list of currently active vertices."""
+        return [
+            v
+            for v in self._graph.vertices()
+            if self._states[v] is NodeState.ACTIVE
+        ]
+
+    def node(self, vertex: int) -> BeepingNode:
+        """The policy object of ``vertex``."""
+        return self._nodes[vertex]
+
+    @property
+    def is_terminated(self) -> bool:
+        """Whether no active vertices remain."""
+        return not self.active_vertices()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> RoundRecord:
+        """Execute one round and return its aggregate record."""
+        round_index = self._round_index
+        self._apply_crashes(round_index)
+        active = self.active_vertices()
+        crashed_now = self._faults.crash_schedule.crashed_at(round_index)
+
+        for v in active:
+            self._nodes[v].on_round_start(round_index)
+
+        probabilities = None
+        if self._trace is not None and self._trace.record_probabilities:
+            probabilities = tuple(
+                (v, self._nodes[v].beep_probability()) for v in active
+            )
+
+        # First exchange: beep decisions, in vertex order for determinism.
+        beepers: Set[int] = set()
+        for v in active:
+            probability = self._nodes[v].beep_probability()
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(
+                    f"policy of vertex {v} returned probability "
+                    f"{probability} outside [0, 1]"
+                )
+            if self._rng.random() < probability:
+                beepers.add(v)
+
+        # Observation (possibly noisy) and probability feedback.
+        heard = self._channel.deliver(beepers, set(active), self._rng)
+        for v in active:
+            self._nodes[v].observe_first_exchange(v in beepers, v in heard)
+
+        # Second exchange: joins and retirements from the *true* beep sets.
+        joined: Set[int] = {
+            v
+            for v in beepers
+            if not self._channel.reliable_or(beepers, v)
+        }
+        retired: Set[int] = set()
+        retire_cause: Dict[int, int] = {}
+        for v in sorted(joined):
+            self._states[v] = NodeState.IN_MIS
+            for w in self._graph.neighbors(v):
+                if self._states[w] is NodeState.ACTIVE:
+                    self._states[w] = NodeState.RETIRED
+                    retired.add(w)
+                    retire_cause[w] = v
+
+        # Accounting.
+        self._metrics.record_beeps(beepers)
+        record = RoundRecord(
+            round_index=round_index,
+            active_before=len(active),
+            beeps=len(beepers),
+            joins=len(joined),
+            retirements=len(retired),
+            crashes=len(crashed_now),
+        )
+        self._metrics.record_round(record)
+        if self._trace is not None:
+            self._trace.append_round(
+                RoundEvent(
+                    round_index=round_index,
+                    beepers=frozenset(beepers),
+                    heard=frozenset(heard),
+                    joined=frozenset(joined),
+                    retired=frozenset(retired),
+                    crashed=frozenset(crashed_now),
+                    probabilities=probabilities,
+                )
+            )
+            for w in sorted(retired):
+                self._trace.append_retirement(round_index, w, retire_cause[w])
+
+        self._round_index += 1
+        return record
+
+    def _apply_crashes(self, round_index: int) -> None:
+        for v in self._faults.crash_schedule.crashed_at(round_index):
+            if v in self._graph and self._states[v] is NodeState.ACTIVE:
+                self._states[v] = NodeState.RETIRED
+                self._crashed.add(v)
+
+    def run(self) -> SimulationResult:
+        """Run rounds until termination and return the result."""
+        while not self.is_terminated:
+            if self._round_index >= self._max_rounds:
+                raise TerminationError(
+                    f"simulation exceeded {self._max_rounds} rounds with "
+                    f"{len(self.active_vertices())} vertices still active"
+                )
+            self.step()
+        mis = {
+            v
+            for v in self._graph.vertices()
+            if self._states[v] is NodeState.IN_MIS
+        }
+        return SimulationResult(
+            graph=self._graph,
+            mis=mis,
+            states=list(self._states),
+            metrics=self._metrics,
+            trace=self._trace,
+            crashed=set(self._crashed),
+        )

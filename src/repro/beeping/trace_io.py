@@ -1,0 +1,109 @@
+"""Trace serialisation: JSON Lines for offline analysis and replay.
+
+A recorded :class:`~repro.beeping.events.Trace` can be written to a JSONL
+stream (one round per line, plus a header line) and read back losslessly.
+This decouples expensive simulations from analysis: run once at scale,
+replay the potential-function instrumentation as often as needed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TextIO, Union
+
+from repro.beeping.events import NodeRetiredEvent, RoundEvent, Trace
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def write_trace(trace: Trace, destination: Union[PathLike, TextIO]) -> None:
+    """Serialise a trace as JSONL (header, then one line per round)."""
+    if hasattr(destination, "write"):
+        _write_stream(trace, destination)  # type: ignore[arg-type]
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            _write_stream(trace, handle)
+
+
+def _write_stream(trace: Trace, stream: TextIO) -> None:
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "record_probabilities": trace.record_probabilities,
+        "num_rounds": trace.num_rounds,
+        "retirements": [
+            [e.round_index, e.vertex, e.cause] for e in trace.retirements
+        ],
+    }
+    stream.write(json.dumps(header, sort_keys=True) + "\n")
+    for event in trace.rounds:
+        payload = {
+            "round": event.round_index,
+            "beepers": sorted(event.beepers),
+            "heard": sorted(event.heard),
+            "joined": sorted(event.joined),
+            "retired": sorted(event.retired),
+            "crashed": sorted(event.crashed),
+        }
+        if event.probabilities is not None:
+            payload["probabilities"] = [
+                [v, p] for v, p in event.probabilities
+            ]
+        stream.write(json.dumps(payload, sort_keys=True) + "\n")
+
+
+def read_trace(source: Union[PathLike, TextIO]) -> Trace:
+    """Read a trace written by :func:`write_trace`."""
+    if hasattr(source, "read"):
+        return _read_stream(source)  # type: ignore[arg-type]
+    with open(source, "r", encoding="utf-8") as handle:
+        return _read_stream(handle)
+
+
+def _read_stream(stream: TextIO) -> Trace:
+    header_line = stream.readline()
+    if not header_line.strip():
+        raise ValueError("trace stream is empty: missing header line")
+    header = json.loads(header_line)
+    version = header.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    trace = Trace(record_probabilities=header["record_probabilities"])
+    for line in stream:
+        if not line.strip():
+            continue
+        payload = json.loads(line)
+        probabilities = None
+        if "probabilities" in payload:
+            probabilities = tuple(
+                (int(v), float(p)) for v, p in payload["probabilities"]
+            )
+        trace.append_round(
+            RoundEvent(
+                round_index=payload["round"],
+                beepers=frozenset(payload["beepers"]),
+                heard=frozenset(payload["heard"]),
+                joined=frozenset(payload["joined"]),
+                retired=frozenset(payload["retired"]),
+                crashed=frozenset(payload["crashed"]),
+                probabilities=probabilities,
+            )
+        )
+    # Restore retirements after rounds so append_round's join extraction
+    # does not duplicate them.
+    trace.retirements.clear()
+    for round_index, vertex, cause in header["retirements"]:
+        trace.retirements.append(
+            NodeRetiredEvent(round_index, vertex, cause)
+        )
+    if trace.num_rounds != header["num_rounds"]:
+        raise ValueError(
+            f"header declares {header['num_rounds']} rounds but "
+            f"{trace.num_rounds} were read"
+        )
+    return trace

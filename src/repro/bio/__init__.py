@@ -1,0 +1,44 @@
+"""The Notch–Delta biology substrate.
+
+The paper's algorithm is abstracted from the lateral-inhibition positive
+feedback of Notch–Delta signalling in developing tissue (Figure 4 and the
+surrounding Section 2 discussion).  The paper itself uses the biology only
+as motivation; this package builds the closest standard computational
+models so the motivating claims are reproducible artefacts:
+
+- :mod:`~repro.bio.ode` — a from-scratch fixed-step RK4 integrator.
+- :mod:`~repro.bio.notch_delta` — the Collier et al. (1996) lateral
+  inhibition ODE model on arbitrary contact graphs; its two-cell instance
+  reproduces Figure 4's mutually exclusive signalling states.
+- :mod:`~repro.bio.stochastic` — a discrete-time stochastic accumulation
+  model in the spirit of Afek et al.'s Science 2011 in-silico models.
+- :mod:`~repro.bio.sop` — SOP-pattern extraction and comparison of the
+  emergent pattern with maximal-independent-set structure.
+"""
+
+from repro.bio.ode import rk4_integrate
+from repro.bio.notch_delta import (
+    CollierParameters,
+    NotchDeltaModel,
+    NotchDeltaResult,
+    two_cell_demo,
+)
+from repro.bio.stochastic import StochasticSOPModel, StochasticSOPResult
+from repro.bio.sop import (
+    SOPPatternReport,
+    analyze_sop_pattern,
+    select_sops_by_delta,
+)
+
+__all__ = [
+    "CollierParameters",
+    "NotchDeltaModel",
+    "NotchDeltaResult",
+    "SOPPatternReport",
+    "StochasticSOPModel",
+    "StochasticSOPResult",
+    "analyze_sop_pattern",
+    "rk4_integrate",
+    "select_sops_by_delta",
+    "two_cell_demo",
+]

@@ -1,0 +1,128 @@
+"""A stochastic accumulation model of SOP selection.
+
+Afek et al. (Science 2011) compared fly SOP selection statistics against
+in-silico models of stochastic Notch–Delta accumulation, settling on a
+model with *stochastic rate change* and threshold (binary) signalling.
+This module implements a discrete-time model in that spirit:
+
+- each undifferentiated cell accumulates an internal Delta level by a
+  random increment per step (its accumulation *rate* is itself re-drawn
+  over time — the "stochastic rate change");
+- a cell whose level crosses the threshold starts inhibiting: it commits
+  to the SOP fate *if no neighbour crossed in the same step* (ties are
+  contested and the contestants reset, modelling mutual inhibition);
+- neighbours of a committed SOP are laterally inhibited and drop out.
+
+The emergent committed set is exactly an MIS of the contact graph — the
+formal correspondence the paper starts from — while per-cell commitment
+*times* vary stochastically like the observed SOP selection times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Dict, List, Optional, Set
+
+from repro.graphs.graph import Graph
+
+
+@dataclass
+class StochasticSOPResult:
+    """The outcome of one stochastic SOP selection run."""
+
+    graph: Graph
+    sops: Set[int]
+    inhibited: Set[int]
+    commit_step: Dict[int, int]
+    steps: int
+
+    @property
+    def selection_times(self) -> List[int]:
+        """Commitment step of each SOP, sorted ascending."""
+        return sorted(self.commit_step[v] for v in self.sops)
+
+
+class StochasticSOPModel:
+    """Discrete-time stochastic accumulation with lateral inhibition.
+
+    Parameters
+    ----------
+    threshold:
+        Accumulation level at which a cell attempts to commit.
+    rate_low, rate_high:
+        Bounds of the uniform accumulation-rate distribution.
+    rate_change_probability:
+        Per-step probability that a cell re-draws its rate (the stochastic
+        rate change of the Science model).
+    """
+
+    def __init__(
+        self,
+        threshold: float = 10.0,
+        rate_low: float = 0.1,
+        rate_high: float = 1.5,
+        rate_change_probability: float = 0.2,
+        max_steps: int = 100_000,
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be > 0")
+        if not 0.0 < rate_low <= rate_high:
+            raise ValueError("need 0 < rate_low <= rate_high")
+        if not 0.0 <= rate_change_probability <= 1.0:
+            raise ValueError("rate_change_probability must be in [0, 1]")
+        self._threshold = threshold
+        self._rate_low = rate_low
+        self._rate_high = rate_high
+        self._rate_change_probability = rate_change_probability
+        self._max_steps = max_steps
+
+    def run(self, graph: Graph, rng: Random) -> StochasticSOPResult:
+        """Run until every cell is an SOP or laterally inhibited."""
+        undecided: Set[int] = set(graph.vertices())
+        sops: Set[int] = set()
+        inhibited: Set[int] = set()
+        commit_step: Dict[int, int] = {}
+        level = {v: 0.0 for v in graph.vertices()}
+        rate = {
+            v: rng.uniform(self._rate_low, self._rate_high)
+            for v in sorted(graph.vertices())
+        }
+        step = 0
+        while undecided:
+            if step >= self._max_steps:
+                raise RuntimeError(
+                    f"SOP selection exceeded {self._max_steps} steps"
+                )
+            # Accumulate, with stochastic rate change.
+            crossers: Set[int] = set()
+            for v in sorted(undecided):
+                if rng.random() < self._rate_change_probability:
+                    rate[v] = rng.uniform(self._rate_low, self._rate_high)
+                level[v] += rate[v]
+                if level[v] >= self._threshold:
+                    crossers.add(v)
+            # Commitment: a crosser with no crossing neighbour becomes an
+            # SOP; contested crossers reset (mutual inhibition).
+            committed: Set[int] = set()
+            for v in crossers:
+                if not any(w in crossers for w in graph.neighbors(v)):
+                    committed.add(v)
+                else:
+                    level[v] = 0.0
+            for v in committed:
+                sops.add(v)
+                commit_step[v] = step
+                undecided.discard(v)
+                for w in graph.neighbors(v):
+                    if w in undecided:
+                        inhibited.add(w)
+                        undecided.discard(w)
+            step += 1
+        return StochasticSOPResult(
+            graph=graph,
+            sops=sops,
+            inhibited=inhibited,
+            commit_step=commit_step,
+            steps=step,
+        )

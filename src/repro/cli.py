@@ -1,0 +1,374 @@
+"""Command-line interface: ``repro-mis`` / ``python -m repro``.
+
+Subcommands
+-----------
+- ``run``      — run one algorithm on one generated graph and report.
+- ``figure3``  — regenerate the Figure 3 series (rounds vs n) and plot it.
+- ``figure5``  — regenerate the Figure 5 series (beeps per node vs n).
+- ``theorem1`` — the lower-bound experiment on the clique family.
+- ``bio``      — run the Notch–Delta lattice model and report the pattern.
+- ``list``     — list the registered algorithms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from random import Random
+from typing import List, Optional
+
+from repro.algorithms.registry import available_algorithms, make_algorithm
+from repro.beeping.rng import spawn_rng
+from repro.experiments.figures import figure3_series, figure5_series
+from repro.experiments.lower_bound import theorem1_experiment
+from repro.experiments.records import results_to_csv
+from repro.experiments.tables import format_experiment
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.graphs.structured import grid_graph, hex_lattice_graph
+from repro.viz.ascii_plots import plot_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mis",
+        description=(
+            "Reproduction of 'Feedback from nature' (PODC 2013): "
+            "beeping-model maximal independent set selection."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one algorithm on one random graph")
+    run.add_argument("--algorithm", default="feedback",
+                     choices=available_algorithms())
+    run.add_argument("--nodes", type=int, default=100)
+    run.add_argument("--edge-probability", type=float, default=0.5)
+    run.add_argument("--grid", type=int, default=0, metavar="SIDE",
+                     help="use a SIDE x SIDE grid instead of G(n, p)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--trials", type=int, default=1)
+
+    fig3 = sub.add_parser("figure3", help="rounds vs n (Figure 3)")
+    fig3.add_argument("--trials", type=int, default=20)
+    fig3.add_argument("--max-n", type=int, default=500)
+    fig3.add_argument("--seed", type=int, default=1303)
+    fig3.add_argument("--csv", action="store_true", help="emit CSV only")
+
+    fig5 = sub.add_parser("figure5", help="beeps per node vs n (Figure 5)")
+    fig5.add_argument("--trials", type=int, default=50)
+    fig5.add_argument("--max-n", type=int, default=200)
+    fig5.add_argument("--seed", type=int, default=1305)
+    fig5.add_argument("--csv", action="store_true", help="emit CSV only")
+
+    thm1 = sub.add_parser("theorem1", help="lower-bound clique family")
+    thm1.add_argument("--max-side", type=int, default=10)
+    thm1.add_argument("--trials", type=int, default=20)
+    thm1.add_argument("--seed", type=int, default=1101)
+
+    bio = sub.add_parser("bio", help="Notch-Delta lattice simulation")
+    bio.add_argument("--rows", type=int, default=8)
+    bio.add_argument("--cols", type=int, default=8)
+    bio.add_argument("--seed", type=int, default=7)
+    bio.add_argument("--t-end", type=float, default=80.0)
+
+    sizes = sub.add_parser("sizes", help="MIS-size comparison vs the optimum")
+    sizes.add_argument("--nodes", type=int, default=30)
+    sizes.add_argument("--edge-probability", type=float, default=0.3)
+    sizes.add_argument("--trials", type=int, default=15)
+    sizes.add_argument("--seed", type=int, default=1701)
+
+    color = sub.add_parser("color", help="(Delta+1)-colouring by MIS peeling")
+    color.add_argument("--nodes", type=int, default=60)
+    color.add_argument("--edge-probability", type=float, default=0.15)
+    color.add_argument("--seed", type=int, default=0)
+
+    match = sub.add_parser("match", help="maximal matching via line-graph MIS")
+    match.add_argument("--nodes", type=int, default=40)
+    match.add_argument("--edge-probability", type=float, default=0.1)
+    match.add_argument("--seed", type=int, default=0)
+
+    wakeup = sub.add_parser(
+        "wakeup", help="feedback MIS with staggered (wake-on-beep) starts"
+    )
+    wakeup.add_argument("--nodes", type=int, default=60)
+    wakeup.add_argument("--edge-probability", type=float, default=0.3)
+    wakeup.add_argument("--max-delay", type=int, default=10)
+    wakeup.add_argument("--seed", type=int, default=0)
+
+    report_cmd = sub.add_parser(
+        "report", help="run every reduced experiment and print a report"
+    )
+    report_cmd.add_argument("--trials", type=int, default=10)
+    report_cmd.add_argument("--seed", type=int, default=2303)
+
+    animate = sub.add_parser(
+        "animate", help="round-by-round text animation of one run"
+    )
+    animate.add_argument("--nodes", type=int, default=16)
+    animate.add_argument("--edge-probability", type=float, default=0.4)
+    animate.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("list", help="list registered algorithms")
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    if args.grid:
+        graph = grid_graph(args.grid, args.grid)
+        workload = f"{args.grid}x{args.grid} grid"
+    else:
+        graph = gnp_random_graph(
+            args.nodes, args.edge_probability, spawn_rng(args.seed, 0)
+        )
+        workload = f"G({args.nodes}, {args.edge_probability})"
+    algorithm = make_algorithm(args.algorithm)
+    print(f"algorithm={algorithm.name} workload={workload} "
+          f"edges={graph.num_edges}")
+    for trial in range(args.trials):
+        run = algorithm.run(graph, spawn_rng(args.seed, 1, trial))
+        run.verify()
+        print(
+            f"trial {trial}: rounds={run.rounds} |MIS|={run.mis_size} "
+            f"beeps/node={run.mean_beeps_per_node:.2f}"
+        )
+    return 0
+
+
+def _sizes_up_to(max_n: int, count: int = 8, minimum: int = 20) -> List[int]:
+    if max_n < minimum:
+        raise SystemExit(f"--max-n must be >= {minimum}")
+    step = max(1, (max_n - minimum) // max(count - 1, 1))
+    sizes = list(range(minimum, max_n + 1, step))
+    if sizes[-1] != max_n:
+        sizes.append(max_n)
+    return sizes
+
+
+def _command_figure3(args: argparse.Namespace) -> int:
+    result = figure3_series(
+        sizes=_sizes_up_to(args.max_n),
+        trials=args.trials,
+        master_seed=args.seed,
+    )
+    if args.csv:
+        print(results_to_csv(result), end="")
+        return 0
+    print(format_experiment(result))
+    print()
+    print(plot_experiment(result, y_label="rounds"))
+    return 0
+
+
+def _command_figure5(args: argparse.Namespace) -> int:
+    result = figure5_series(
+        sizes=_sizes_up_to(args.max_n, minimum=10),
+        trials=args.trials,
+        master_seed=args.seed,
+    )
+    if args.csv:
+        print(results_to_csv(result), end="")
+        return 0
+    print(format_experiment(result))
+    print()
+    print(plot_experiment(result, y_label="beeps/node"))
+    return 0
+
+
+def _command_theorem1(args: argparse.Namespace) -> int:
+    sides = list(range(3, args.max_side + 1, max(1, (args.max_side - 3) // 4)))
+    result = theorem1_experiment(
+        sides=sides, trials=args.trials, master_seed=args.seed
+    )
+    print(format_experiment(result))
+    print()
+    print(plot_experiment(result, y_label="rounds"))
+    return 0
+
+
+def _command_bio(args: argparse.Namespace) -> int:
+    from repro.bio.notch_delta import NotchDeltaModel
+    from repro.bio.sop import analyze_sop_pattern, select_sops_by_delta
+    from repro.viz.graph_render import render_grid_mis
+
+    graph = hex_lattice_graph(args.rows, args.cols)
+    model = NotchDeltaModel(graph)
+    result = model.run(Random(args.seed), t_end=args.t_end)
+    sops = select_sops_by_delta(result.final_delta)
+    report = analyze_sop_pattern(graph, sops, result.final_delta)
+    print(
+        f"cells={report.num_cells} SOPs={report.num_sops} "
+        f"adjacent-SOP-pairs={report.adjacent_sop_pairs} "
+        f"uncovered={report.uncovered_cells} "
+        f"delta-separation={report.delta_separation:.3f}"
+    )
+    print(f"pattern is an MIS of the contact graph: {report.is_mis}")
+    print(render_grid_mis(args.rows, args.cols, sops))
+    return 0
+
+
+def _command_sizes(args: argparse.Namespace) -> int:
+    from repro.experiments.sizes import mis_size_experiment
+    from repro.experiments.tables import format_table
+
+    result = mis_size_experiment(
+        n=args.nodes,
+        edge_probability=args.edge_probability,
+        trials=args.trials,
+        master_seed=args.seed,
+    )
+    rows = [
+        [
+            p.series,
+            f"{p.mean:.2f}",
+            f"{p.std:.2f}",
+            f"{p.extra.get('optimum_ratio', float('nan')):.3f}",
+        ]
+        for p in result.points
+    ]
+    print(
+        format_table(
+            ["algorithm", "mean |MIS|", "std", "fraction of optimum"], rows
+        )
+    )
+    return 0
+
+
+def _command_color(args: argparse.Namespace) -> int:
+    from random import Random
+
+    from repro.applications.coloring import mis_coloring
+
+    graph = gnp_random_graph(
+        args.nodes, args.edge_probability, spawn_rng(args.seed, 0)
+    )
+    result = mis_coloring(graph, Random(args.seed + 1))
+    print(
+        f"n={graph.num_vertices} m={graph.num_edges} "
+        f"max degree={graph.max_degree()}"
+    )
+    print(
+        f"proper colouring: {result.num_colors} colours "
+        f"(bound {graph.max_degree() + 1}), "
+        f"{result.total_rounds} total beeping rounds"
+    )
+    for color, members in sorted(result.color_classes().items()):
+        print(f"  colour {color}: {len(members)} vertices")
+    return 0
+
+
+def _command_match(args: argparse.Namespace) -> int:
+    from random import Random
+
+    from repro.applications.matching import mis_matching
+
+    graph = gnp_random_graph(
+        args.nodes, args.edge_probability, spawn_rng(args.seed, 0)
+    )
+    result = mis_matching(graph, Random(args.seed + 1))
+    print(f"n={graph.num_vertices} m={graph.num_edges}")
+    print(
+        f"maximal matching: {result.size} edges in {result.rounds} rounds; "
+        f"{len(result.matched_vertices())} vertices matched"
+    )
+    return 0
+
+
+def _command_wakeup(args: argparse.Namespace) -> int:
+    from random import Random
+
+    from repro.beeping.wakeup import WakeupSimulation, random_wake_schedule
+    from repro.core.policy import ExponentFeedbackNode
+
+    graph = gnp_random_graph(
+        args.nodes, args.edge_probability, spawn_rng(args.seed, 0)
+    )
+    schedule = random_wake_schedule(
+        graph.num_vertices, args.max_delay, Random(args.seed + 1)
+    )
+    result = WakeupSimulation(
+        graph,
+        lambda v: ExponentFeedbackNode(),
+        schedule,
+        Random(args.seed + 2),
+    ).run()
+    result.verify()
+    woken_by_beep = sum(
+        1
+        for v, actual in result.wake_round.items()
+        if actual < schedule[v]
+    )
+    print(
+        f"n={graph.num_vertices} staggered starts over "
+        f"[0, {args.max_delay}] rounds"
+    )
+    print(
+        f"MIS of {len(result.mis)} vertices in {result.num_rounds} rounds; "
+        f"{woken_by_beep} nodes woken early by a neighbour's beep"
+    )
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import build_report
+
+    print(build_report(trials=args.trials, master_seed=args.seed))
+    return 0
+
+
+def _command_animate(args: argparse.Namespace) -> int:
+    from random import Random
+
+    from repro.beeping.events import Trace
+    from repro.beeping.scheduler import BeepingSimulation
+    from repro.core.policy import ExponentFeedbackNode
+    from repro.viz.animation import render_animation
+
+    graph = gnp_random_graph(
+        args.nodes, args.edge_probability, spawn_rng(args.seed, 0)
+    )
+    trace = Trace()
+    result = BeepingSimulation(
+        graph,
+        lambda v: ExponentFeedbackNode(),
+        Random(args.seed + 1),
+        trace=trace,
+    ).run()
+    result.verify()
+    print(render_animation(trace, graph.num_vertices))
+    print(
+        f"\ndone in {result.num_rounds} rounds; "
+        f"MIS = {sorted(result.mis)}"
+    )
+    return 0
+
+
+def _command_list(_args: argparse.Namespace) -> int:
+    for name in available_algorithms():
+        print(name)
+    return 0
+
+
+_COMMANDS = {
+    "run": _command_run,
+    "figure3": _command_figure3,
+    "figure5": _command_figure5,
+    "theorem1": _command_theorem1,
+    "bio": _command_bio,
+    "sizes": _command_sizes,
+    "color": _command_color,
+    "match": _command_match,
+    "wakeup": _command_wakeup,
+    "report": _command_report,
+    "animate": _command_animate,
+    "list": _command_list,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-mis`` and ``python -m repro``."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""The paper's primary contribution: the local-feedback beep policy.
+
+- :mod:`~repro.core.policy` — the exact algorithm of Definition 1
+  (:class:`ExponentFeedbackNode`) and its generalised multiplicative form
+  (:class:`FeedbackNode`).
+- :mod:`~repro.core.automaton` — the explicit node automaton of Figure 2.
+- :mod:`~repro.core.variants` — the robustness variants discussed in
+  Section 6 (per-node factors, randomised initial probabilities).
+- :mod:`~repro.core.instrumentation` — the potential-function quantities
+  (``µ_t``, light/heavy neighbourhoods, the E1–E4 event classification)
+  from the proof of Theorem 2, computable from a recorded trace.
+"""
+
+from repro.core.automaton import AutomatonState, NodeAutomaton
+from repro.core.beep_accounting import (
+    BeepDecomposition,
+    decompose_beeps,
+    mean_decomposition,
+)
+from repro.core.policy import ExponentFeedbackNode, FeedbackNode
+from repro.core.variants import (
+    heterogeneous_feedback_factory,
+    jittered_factor_factory,
+    random_initial_probability_factory,
+)
+from repro.core.instrumentation import (
+    EventKind,
+    PotentialTracker,
+    RoundClassification,
+    classify_vertex_rounds,
+    neighborhood_weight,
+    partition_light_heavy,
+)
+
+__all__ = [
+    "AutomatonState",
+    "BeepDecomposition",
+    "EventKind",
+    "decompose_beeps",
+    "mean_decomposition",
+    "ExponentFeedbackNode",
+    "FeedbackNode",
+    "NodeAutomaton",
+    "PotentialTracker",
+    "RoundClassification",
+    "classify_vertex_rounds",
+    "heterogeneous_feedback_factory",
+    "jittered_factor_factory",
+    "neighborhood_weight",
+    "partition_light_heavy",
+    "random_initial_probability_factory",
+]

@@ -1,0 +1,140 @@
+"""The explicit node automaton of Figure 2.
+
+The scheduler in :mod:`repro.beeping.scheduler` implements the round
+semantics directly; this module reproduces the *state-based description* of
+the paper's Figure 2 as an explicit automaton, so that the figure itself is
+a tested artefact.  A test drives the automaton and the scheduler side by
+side and checks that they agree (see ``tests/core/test_automaton.py``).
+
+States (Figure 2):
+
+- ``INITIAL``       — active, not currently signalling.
+- ``SIGNALLING``    — wishes to join the MIS this round (entered with
+  probability ``p``).
+- ``JOINED``        — in the MIS; inactive.
+- ``NEIGHBOR_IN_MIS`` — a neighbour joined the MIS; inactive.
+
+Transitions (one round):
+
+- ``INITIAL → SIGNALLING`` with probability ``p``.
+- ``SIGNALLING → JOINED`` if no neighbour signals.
+- ``SIGNALLING → INITIAL`` if a neighbour also signals (stop signalling).
+- ``INITIAL → NEIGHBOR_IN_MIS`` if a signalling neighbour joins.
+"""
+
+from __future__ import annotations
+
+import enum
+from random import Random
+from typing import Optional
+
+
+class AutomatonState(enum.Enum):
+    """The four states of Figure 2."""
+
+    INITIAL = "initial"
+    SIGNALLING = "signalling"
+    JOINED = "joined"
+    NEIGHBOR_IN_MIS = "neighbor_in_mis"
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether the state is inactive (grey in the figure)."""
+        return self in (AutomatonState.JOINED, AutomatonState.NEIGHBOR_IN_MIS)
+
+
+class NodeAutomaton:
+    """One node's automaton, driven round by round.
+
+    The automaton follows Table 1: ``p`` starts at ``1/2`` and is updated by
+    the feedback rule during the first exchange; the state transitions of
+    Figure 2 happen across the two exchanges.
+    """
+
+    def __init__(
+        self,
+        initial_probability: float = 0.5,
+        decrease_factor: float = 0.5,
+        increase_factor: float = 2.0,
+        max_probability: float = 0.5,
+    ) -> None:
+        if not 0.0 < initial_probability <= max_probability:
+            raise ValueError(
+                "initial_probability must be in (0, max_probability]"
+            )
+        self._state = AutomatonState.INITIAL
+        self._probability = initial_probability
+        self._decrease_factor = decrease_factor
+        self._increase_factor = increase_factor
+        self._max_probability = max_probability
+
+    @property
+    def state(self) -> AutomatonState:
+        """The current automaton state."""
+        return self._state
+
+    @property
+    def probability(self) -> float:
+        """The current signalling probability ``p``."""
+        return self._probability
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the node is still participating."""
+        return not self._state.is_terminal
+
+    # ------------------------------------------------------------------
+    # Round phases
+    # ------------------------------------------------------------------
+
+    def first_exchange_start(self, rng: Random) -> bool:
+        """Decide whether to start signalling; returns True if signalling.
+
+        Line 4 of Table 1: with probability ``p``, start signalling.
+        """
+        self._require_active()
+        if rng.random() < self._probability:
+            self._state = AutomatonState.SIGNALLING
+            return True
+        return False
+
+    def first_exchange_feedback(self, neighbor_signalling: bool) -> None:
+        """React to the neighbours' signals (lines 5-9 of Table 1)."""
+        self._require_active()
+        if neighbor_signalling:
+            if self._state is AutomatonState.SIGNALLING:
+                # Line 6: stop signalling.
+                self._state = AutomatonState.INITIAL
+            # Line 7: reduce p.
+            self._probability *= self._decrease_factor
+        else:
+            # Line 9: increase p, up to the cap.
+            self._probability = min(
+                self._probability * self._increase_factor,
+                self._max_probability,
+            )
+
+    def second_exchange(self, neighbor_joined: bool) -> Optional[AutomatonState]:
+        """Apply the second exchange (lines 10-15 of Table 1).
+
+        Returns the new terminal state if the node terminates this round,
+        else ``None``.  ``neighbor_joined`` reports whether some neighbour
+        announced joining the MIS.
+        """
+        self._require_active()
+        if self._state is AutomatonState.SIGNALLING:
+            # Still signalling after the feedback phase means no neighbour
+            # signalled, so the node joins (lines 11-13).
+            self._state = AutomatonState.JOINED
+            return self._state
+        if neighbor_joined:
+            # Lines 14-15.
+            self._state = AutomatonState.NEIGHBOR_IN_MIS
+            return self._state
+        return None
+
+    def _require_active(self) -> None:
+        if self._state.is_terminal:
+            raise RuntimeError(
+                f"automaton is already terminal in state {self._state}"
+            )

@@ -1,0 +1,203 @@
+"""Potential-function instrumentation from the proof of Theorem 2.
+
+The proof of the O(log n) upper bound follows, for a fixed vertex ``v``, the
+weight ``µ_t(Γ(v))`` of its neighbourhood (the sum of its neighbours' beep
+probabilities), splits the neighbourhood into *λ-light* and *λ-heavy*
+vertices, and classifies every round into one of four events:
+
+- **E1** — the light part carries significant weight, ``µ_t(L_t) ≥ α``;
+- **E2** — ``µ_t(L_t) < α`` and the whole neighbourhood is light,
+  ``µ_t(Γ(v)) ≤ β``;
+- **E3** — neither, and the neighbourhood weight shrinks by at least
+  ``1/√2`` during the round;
+- **E4** — neither, and it does not shrink that much (the "bad" event,
+  shown to have probability at most 1/80 in Claim 2).
+
+This module recomputes all of these quantities from a recorded trace, which
+lets the test-suite check the proof's claims *empirically* (e.g. the E4
+frequency bound of Claim 2 and the "µ_t(Γ(v)) is small most of the time"
+conclusion of Claim 4) on real runs of the algorithm.
+
+The paper's constants are ``α = 10⁻³``, ``β = 1/50``, ``λ = 7``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.beeping.events import Trace
+from repro.graphs.graph import Graph
+
+PAPER_ALPHA = 1e-3
+PAPER_BETA = 1.0 / 50.0
+PAPER_LAMBDA = 7.0
+
+
+class EventKind(enum.Enum):
+    """The proof's four per-round events (exactly one occurs per round)."""
+
+    E1 = "E1"
+    E2 = "E2"
+    E3 = "E3"
+    E4 = "E4"
+
+
+@dataclass(frozen=True)
+class RoundClassification:
+    """The classification of one round of a tracked vertex's life."""
+
+    round_index: int
+    kind: EventKind
+    mu_light: float
+    mu_neighborhood: float
+    mu_neighborhood_next: float
+
+
+def probability_map(trace: Trace, round_index: int) -> Dict[int, float]:
+    """The ``µ_t`` measure at the start of the given round.
+
+    Only active vertices appear; by the paper's convention inactive vertices
+    have ``µ_t(v) = 0`` and are simply absent from the map.
+    """
+    event = trace.rounds[round_index]
+    if event.probabilities is None:
+        raise ValueError(
+            "trace was recorded without probabilities; construct it with "
+            "Trace(record_probabilities=True)"
+        )
+    return dict(event.probabilities)
+
+
+def measure(prob_map: Dict[int, float], vertices: Iterable[int]) -> float:
+    """``µ_t(S)`` — the total weight of a vertex set (inactive → 0)."""
+    return sum(prob_map.get(v, 0.0) for v in vertices)
+
+
+def neighborhood_weight(
+    graph: Graph, prob_map: Dict[int, float], vertex: int
+) -> float:
+    """``µ_t(Γ(v))`` — the total beep probability of ``v``'s neighbours."""
+    return measure(prob_map, graph.neighbors(vertex))
+
+
+def partition_light_heavy(
+    graph: Graph,
+    prob_map: Dict[int, float],
+    vertex: int,
+    lam: float = PAPER_LAMBDA,
+) -> Tuple[List[int], List[int]]:
+    """Split ``Γ(v)`` into λ-light and λ-heavy *active* neighbours.
+
+    A neighbour ``x`` is λ-light when ``µ_t(Γ(x)) ≤ λ``.  Inactive
+    neighbours carry no weight and are excluded from both sides.
+    """
+    light: List[int] = []
+    heavy: List[int] = []
+    for x in graph.neighbors(vertex):
+        if x not in prob_map:
+            continue
+        if neighborhood_weight(graph, prob_map, x) <= lam:
+            light.append(x)
+        else:
+            heavy.append(x)
+    return light, heavy
+
+
+def classify_vertex_rounds(
+    graph: Graph,
+    trace: Trace,
+    vertex: int,
+    alpha: float = PAPER_ALPHA,
+    beta: float = PAPER_BETA,
+    lam: float = PAPER_LAMBDA,
+) -> List[RoundClassification]:
+    """Classify each round of ``vertex``'s active life into E1-E4.
+
+    The classification stops at the round in which the vertex becomes
+    inactive (inclusive), mirroring the proof, which only tracks ``v`` while
+    it is active.
+    """
+    classifications: List[RoundClassification] = []
+    for t in range(trace.num_rounds):
+        prob_map = probability_map(trace, t)
+        if vertex not in prob_map:
+            break
+        light, _heavy = partition_light_heavy(graph, prob_map, vertex, lam)
+        mu_light = measure(prob_map, light)
+        mu_gamma = neighborhood_weight(graph, prob_map, vertex)
+        if t + 1 < trace.num_rounds:
+            next_map = probability_map(trace, t + 1)
+        else:
+            next_map = {}
+        mu_gamma_next = measure(next_map, graph.neighbors(vertex))
+        if mu_light >= alpha:
+            kind = EventKind.E1
+        elif mu_gamma <= beta:
+            kind = EventKind.E2
+        elif mu_gamma_next <= mu_gamma / math.sqrt(2.0):
+            kind = EventKind.E3
+        else:
+            kind = EventKind.E4
+        classifications.append(
+            RoundClassification(
+                round_index=t,
+                kind=kind,
+                mu_light=mu_light,
+                mu_neighborhood=mu_gamma,
+                mu_neighborhood_next=mu_gamma_next,
+            )
+        )
+    return classifications
+
+
+def event_frequencies(
+    classifications: Sequence[RoundClassification],
+) -> Dict[EventKind, float]:
+    """The empirical frequency of each event kind (0.0 when no rounds)."""
+    counts = {kind: 0 for kind in EventKind}
+    for classification in classifications:
+        counts[classification.kind] += 1
+    total = len(classifications)
+    if total == 0:
+        return {kind: 0.0 for kind in EventKind}
+    return {kind: counts[kind] / total for kind in counts}
+
+
+class PotentialTracker:
+    """Convenience wrapper: per-round potential series for a whole run.
+
+    Computes, for every round ``t``, the total measure ``µ_t(V)`` and the
+    number of active vertices — the global quantities one plots to *see* the
+    algorithm converge.
+    """
+
+    def __init__(self, graph: Graph, trace: Trace) -> None:
+        self._graph = graph
+        self._trace = trace
+
+    def total_measure_series(self) -> List[float]:
+        """``µ_t(V)`` for each recorded round."""
+        return [
+            sum(probability_map(self._trace, t).values())
+            for t in range(self._trace.num_rounds)
+        ]
+
+    def active_count_series(self) -> List[int]:
+        """Number of active vertices at the start of each round."""
+        return [
+            len(probability_map(self._trace, t))
+            for t in range(self._trace.num_rounds)
+        ]
+
+    def neighborhood_series(self, vertex: int) -> List[float]:
+        """``µ_t(Γ(v))`` for each round in which ``v`` is active."""
+        series: List[float] = []
+        for t in range(self._trace.num_rounds):
+            prob_map = probability_map(self._trace, t)
+            if vertex not in prob_map:
+                break
+            series.append(neighborhood_weight(self._graph, prob_map, vertex))
+        return series

@@ -1,0 +1,153 @@
+"""Robustness variants of the feedback policy (Section 6).
+
+The paper's conclusion claims the algorithm tolerates:
+
+- feedback factors different from 2 ("do not need to increase and decrease
+  by a precise factor");
+- factors that *vary between nodes* and over time;
+- initial probabilities different from ``1/2``, varying from node to node,
+  "as long as sufficiently many of them are bounded away from zero".
+
+Each claim gets a node-factory builder here; the ablation benchmarks sweep
+over them.  All builders return a factory with the ``vertex -> BeepingNode``
+signature expected by the scheduler, deriving per-node randomness from an
+explicit seed so variants stay reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.beeping.node import BeepingNode
+from repro.beeping.rng import spawn_rng
+from repro.core.policy import FeedbackNode
+
+NodeFactory = Callable[[int], BeepingNode]
+
+
+def uniform_feedback_factory(
+    decrease_factor: float = 0.5,
+    increase_factor: float = 2.0,
+    initial_probability: float = 0.5,
+    max_probability: float = 0.5,
+) -> NodeFactory:
+    """Every node runs the same generalised feedback policy.
+
+    With the default arguments this is exactly the paper's algorithm.
+    """
+
+    def factory(vertex: int) -> BeepingNode:
+        return FeedbackNode(
+            initial_probability=initial_probability,
+            decrease_factor=decrease_factor,
+            increase_factor=increase_factor,
+            max_probability=max_probability,
+        )
+
+    return factory
+
+
+def heterogeneous_feedback_factory(
+    seed: int,
+    decrease_factors: Sequence[float] = (0.4, 0.5, 0.6),
+    increase_factors: Sequence[float] = (1.6, 2.0, 2.5),
+    max_probability: float = 0.5,
+) -> NodeFactory:
+    """Each node independently draws its own (fixed) pair of factors.
+
+    Models the "factors may vary between nodes" robustness claim: vertex
+    ``v`` picks uniformly from the given factor menus using randomness
+    derived from ``seed`` and ``v``, so the assignment is reproducible and
+    independent of construction order.
+    """
+    if not decrease_factors or not increase_factors:
+        raise ValueError("factor menus must be non-empty")
+
+    def factory(vertex: int) -> BeepingNode:
+        rng = spawn_rng(seed, 0xFAC0, vertex)
+        return FeedbackNode(
+            decrease_factor=rng.choice(list(decrease_factors)),
+            increase_factor=rng.choice(list(increase_factors)),
+            max_probability=max_probability,
+        )
+
+    return factory
+
+
+def random_initial_probability_factory(
+    seed: int,
+    low: float = 0.05,
+    high: float = 0.5,
+    max_probability: float = 0.5,
+) -> NodeFactory:
+    """Each node starts at its own uniformly random probability in
+    ``[low, high]`` (the "initial values may vary from node to node" claim).
+
+    ``low`` must be strictly positive: the paper requires the initial
+    probabilities to be bounded away from zero.
+    """
+    if not 0.0 < low <= high <= max_probability:
+        raise ValueError(
+            f"need 0 < low <= high <= max_probability, got "
+            f"low={low}, high={high}, max={max_probability}"
+        )
+
+    def factory(vertex: int) -> BeepingNode:
+        rng = spawn_rng(seed, 0x1417, vertex)
+        return FeedbackNode(
+            initial_probability=rng.uniform(low, high),
+            max_probability=max_probability,
+        )
+
+    return factory
+
+
+class _JitteredFactorNode(FeedbackNode):
+    """A feedback node whose factors are re-drawn every round.
+
+    Models the "factors may vary over time" robustness claim.  The node
+    keeps its own RNG so the scheduler's random stream is untouched.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        vertex: int,
+        decrease_range,
+        increase_range,
+        max_probability: float,
+    ) -> None:
+        super().__init__(max_probability=max_probability)
+        self._jitter_rng = spawn_rng(seed, 0x7177, vertex)
+        self._decrease_range = decrease_range
+        self._increase_range = increase_range
+
+    def observe_first_exchange(self, did_beep: bool, heard_beep: bool) -> None:
+        self._decrease_factor = self._jitter_rng.uniform(*self._decrease_range)
+        self._increase_factor = self._jitter_rng.uniform(*self._increase_range)
+        super().observe_first_exchange(did_beep, heard_beep)
+
+
+def jittered_factor_factory(
+    seed: int,
+    decrease_range=(0.35, 0.65),
+    increase_range=(1.5, 2.8),
+    max_probability: float = 0.5,
+) -> NodeFactory:
+    """Factors re-drawn uniformly at every round, per node.
+
+    ``decrease_range`` must stay inside (0, 1) and ``increase_range`` above 1.
+    """
+    lo, hi = decrease_range
+    if not 0.0 < lo <= hi < 1.0:
+        raise ValueError(f"decrease_range must lie in (0, 1), got {decrease_range}")
+    lo, hi = increase_range
+    if not 1.0 < lo <= hi:
+        raise ValueError(f"increase_range must lie above 1, got {increase_range}")
+
+    def factory(vertex: int) -> BeepingNode:
+        return _JitteredFactorNode(
+            seed, vertex, decrease_range, increase_range, max_probability
+        )
+
+    return factory

@@ -1,0 +1,35 @@
+"""Vectorised numpy engine for large-scale beeping simulations.
+
+The reference runtime in :mod:`repro.beeping` is per-node and fully
+instrumented — ideal for correctness, traces and the proof instrumentation,
+but too slow for the paper's Figure 3 sweep (graphs up to n = 1000 with 100
+trials per size).  This engine re-implements the same round semantics with
+numpy boolean linear algebra: one matrix-vector product per round instead
+of per-node set scans.
+
+The two engines are cross-validated in ``tests/engine/`` — exact agreement
+on degenerate graphs and distributional agreement (round counts, beep
+counts) on random graphs.
+"""
+
+from repro.engine.rules import (
+    FeedbackRule,
+    GlobalScheduleRule,
+    ProbabilityRule,
+    SweepRule,
+)
+from repro.engine.simulator import EngineRun, VectorizedSimulator
+from repro.engine.sparse import SparseSimulator
+from repro.engine.batch import BatchResult, run_batch
+
+__all__ = [
+    "BatchResult",
+    "EngineRun",
+    "FeedbackRule",
+    "GlobalScheduleRule",
+    "ProbabilityRule",
+    "SparseSimulator",
+    "SweepRule",
+    "VectorizedSimulator",
+    "run_batch",
+]

@@ -1,0 +1,164 @@
+"""Probability-update rules for the vectorised engine.
+
+A rule owns the per-vertex beep probability vector: it provides the initial
+probabilities and updates them from the round's observations.  The three
+rules mirror the three beeping algorithms in :mod:`repro.algorithms`:
+
+- :class:`FeedbackRule`      ↔ :class:`repro.algorithms.FeedbackMIS`
+- :class:`SweepRule`         ↔ :class:`repro.algorithms.AfekSweepMIS`
+- :class:`GlobalScheduleRule`↔ :class:`repro.algorithms.AfekGlobalMIS`
+
+All operate on full-length numpy vectors; entries of inactive vertices are
+carried along but ignored (the simulator masks them out).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.algorithms.afek_global import global_schedule
+from repro.algorithms.afek_sweep import sweep_probability
+
+
+class ProbabilityRule(ABC):
+    """The probability policy of one vectorised simulation run."""
+
+    @abstractmethod
+    def initial(self, num_vertices: int) -> np.ndarray:
+        """The probability vector for round 0 (float64, length n)."""
+
+    @abstractmethod
+    def update(
+        self,
+        probabilities: np.ndarray,
+        heard: np.ndarray,
+        active: np.ndarray,
+        round_index: int,
+    ) -> np.ndarray:
+        """The probability vector for the next round.
+
+        Parameters
+        ----------
+        probabilities:
+            Current probabilities (length n).
+        heard:
+            Boolean vector: vertex heard at least one (noisy) beep.
+        active:
+            Boolean vector: vertex was active this round.
+        round_index:
+            0-based index of the round that just ran.
+        """
+
+    @property
+    def name(self) -> str:
+        """Stable identifier matching the algorithm registry."""
+        return type(self).__name__
+
+
+class FeedbackRule(ProbabilityRule):
+    """Definition 1 vectorised: halve on hearing, double (cap ½) otherwise.
+
+    The generalised Section 6 parameters are supported exactly as in
+    :class:`repro.core.policy.FeedbackNode`.
+    """
+
+    def __init__(
+        self,
+        initial_probability: float = 0.5,
+        decrease_factor: float = 0.5,
+        increase_factor: float = 2.0,
+        max_probability: float = 0.5,
+    ) -> None:
+        if not 0.0 < decrease_factor < 1.0:
+            raise ValueError("decrease_factor must be in (0, 1)")
+        if increase_factor <= 1.0:
+            raise ValueError("increase_factor must be > 1")
+        if not 0.0 < initial_probability <= max_probability <= 1.0:
+            raise ValueError(
+                "need 0 < initial_probability <= max_probability <= 1"
+            )
+        self._initial_probability = initial_probability
+        self._decrease_factor = decrease_factor
+        self._increase_factor = increase_factor
+        self._max_probability = max_probability
+
+    @property
+    def name(self) -> str:
+        return "feedback"
+
+    def initial(self, num_vertices: int) -> np.ndarray:
+        return np.full(num_vertices, self._initial_probability, dtype=np.float64)
+
+    def update(
+        self,
+        probabilities: np.ndarray,
+        heard: np.ndarray,
+        active: np.ndarray,
+        round_index: int,
+    ) -> np.ndarray:
+        down = probabilities * self._decrease_factor
+        up = np.minimum(
+            probabilities * self._increase_factor, self._max_probability
+        )
+        return np.where(heard, down, up)
+
+
+class SweepRule(ProbabilityRule):
+    """The DISC 2011 global sweep: shared p from the phase schedule."""
+
+    @property
+    def name(self) -> str:
+        return "afek-sweep"
+
+    def initial(self, num_vertices: int) -> np.ndarray:
+        return np.full(num_vertices, sweep_probability(0), dtype=np.float64)
+
+    def update(
+        self,
+        probabilities: np.ndarray,
+        heard: np.ndarray,
+        active: np.ndarray,
+        round_index: int,
+    ) -> np.ndarray:
+        shared = sweep_probability(round_index + 1)
+        return np.full_like(probabilities, shared)
+
+
+class GlobalScheduleRule(ProbabilityRule):
+    """The Science 2011 schedule: p from n and the maximum degree."""
+
+    def __init__(
+        self,
+        num_vertices: int,
+        max_degree: int,
+        steps_coefficient: float = 2.0,
+    ) -> None:
+        self._num_vertices = num_vertices
+        self._max_degree = max_degree
+        self._steps_coefficient = steps_coefficient
+
+    @property
+    def name(self) -> str:
+        return "afek-global"
+
+    def _shared(self, round_index: int) -> float:
+        return global_schedule(
+            round_index,
+            self._num_vertices,
+            self._max_degree,
+            self._steps_coefficient,
+        )
+
+    def initial(self, num_vertices: int) -> np.ndarray:
+        return np.full(num_vertices, self._shared(0), dtype=np.float64)
+
+    def update(
+        self,
+        probabilities: np.ndarray,
+        heard: np.ndarray,
+        active: np.ndarray,
+        round_index: int,
+    ) -> np.ndarray:
+        return np.full_like(probabilities, self._shared(round_index + 1))

@@ -1,0 +1,118 @@
+"""Sparse (CSR) engine for large, sparse graphs.
+
+The dense engine stores an n×n adjacency matrix — perfect for the paper's
+``G(n, 1/2)`` workloads, quadratic waste for sparse topologies (grids,
+geometric/sensor networks, scale-free graphs).  This engine keeps the
+adjacency in compressed-sparse-row form and computes the one-bit OR
+observation with ``numpy.add.reduceat`` over the neighbour lists, so a
+round costs O(n + m) with small constants.  It runs the same rules as the
+dense engine and is cross-validated against it in the tests.
+
+With mean degree ~8 this comfortably simulates n = 50,000 node networks —
+letting the scaling benchmark extend Theorem 2's O(log n) curve well past
+the paper's n = 1000.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+import numpy as np
+
+from repro.engine.rules import ProbabilityRule
+from repro.engine.simulator import EngineRun
+from repro.graphs.graph import Graph
+from repro.graphs.validation import verify_mis
+
+DEFAULT_MAX_ROUNDS = 100_000
+
+
+class SparseSimulator:
+    """CSR-based simulator, API-compatible with
+    :class:`~repro.engine.simulator.VectorizedSimulator`."""
+
+    def __init__(self, graph: Graph, max_rounds: int = DEFAULT_MAX_ROUNDS) -> None:
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        self._graph = graph
+        self._max_rounds = max_rounds
+        n = graph.num_vertices
+        degrees = np.fromiter(
+            (graph.degree(v) for v in graph.vertices()),
+            dtype=np.int64,
+            count=n,
+        )
+        self._offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=self._offsets[1:])
+        self._columns = np.empty(int(self._offsets[-1]), dtype=np.int64)
+        cursor = 0
+        for v in graph.vertices():
+            neighbors = graph.neighbors(v)
+            self._columns[cursor:cursor + len(neighbors)] = neighbors
+            cursor += len(neighbors)
+        # reduceat needs non-empty segments; remember isolated vertices.
+        self._isolated = degrees == 0
+
+    @property
+    def graph(self) -> Graph:
+        """The simulated graph."""
+        return self._graph
+
+    def _neighbor_or(self, flags: np.ndarray) -> np.ndarray:
+        """For each vertex, whether any neighbour's flag is set."""
+        n = self._graph.num_vertices
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        if self._columns.size == 0:
+            return np.zeros(n, dtype=bool)
+        gathered = flags[self._columns].astype(np.int64)
+        # reduceat over CSR segments; empty segments (isolated vertices)
+        # yield garbage, masked out below.
+        starts = self._offsets[:-1].copy()
+        # reduceat requires indices < len(gathered); clamp empty tail
+        # segments (their result is masked anyway).
+        np.clip(starts, 0, max(gathered.size - 1, 0), out=starts)
+        sums = np.add.reduceat(gathered, starts)
+        result = sums > 0
+        result[self._isolated] = False
+        return result
+
+    def run(
+        self,
+        rule: ProbabilityRule,
+        seed: int,
+        validate: bool = False,
+    ) -> EngineRun:
+        """Execute one full simulation with the given rule and seed."""
+        n = self._graph.num_vertices
+        rng = np.random.default_rng(seed)
+        active = np.ones(n, dtype=bool)
+        in_mis = np.zeros(n, dtype=bool)
+        probabilities = rule.initial(n)
+        beeps = np.zeros(n, dtype=np.int64)
+        rounds = 0
+        while active.any():
+            if rounds >= self._max_rounds:
+                raise RuntimeError(
+                    f"sparse simulation exceeded {self._max_rounds} rounds"
+                )
+            uniforms = rng.random(n)
+            beep = active & (uniforms < probabilities)
+            heard = self._neighbor_or(beep)
+            probabilities = rule.update(probabilities, heard, active, rounds)
+            joined = beep & ~heard
+            in_mis |= joined
+            neighbor_joined = self._neighbor_or(joined)
+            beeps += beep
+            active &= ~(joined | neighbor_joined)
+            rounds += 1
+        mis: Set[int] = {int(v) for v in np.flatnonzero(in_mis)}
+        if validate:
+            verify_mis(self._graph, mis)
+        return EngineRun(
+            rule_name=rule.name,
+            num_vertices=n,
+            rounds=rounds,
+            mis=mis,
+            beeps_by_node=beeps,
+        )

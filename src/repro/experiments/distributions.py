@@ -1,0 +1,86 @@
+"""Round-count distributions (beyond the means of Figure 3).
+
+The paper reports means with std error bars; this study records the full
+per-trial distribution of round counts per algorithm — quantiles, tails
+and histograms — which is what one needs to compare *latency percentiles*
+of the algorithms (the operative metric for a real radio network, where
+the slowest cluster gates the deployment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Dict, List, Sequence
+
+from repro.algorithms.registry import make_algorithm
+from repro.beeping.rng import spawn_rng
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.viz.histogram import ascii_histogram
+
+
+@dataclass
+class RoundDistribution:
+    """Per-trial round counts of one algorithm on one workload."""
+
+    algorithm: str
+    rounds: List[int] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean."""
+        return sum(self.rounds) / len(self.rounds)
+
+    def quantile(self, q: float) -> float:
+        """Empirical quantile with linear interpolation."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        ordered = sorted(self.rounds)
+        if len(ordered) == 1:
+            return float(ordered[0])
+        position = q * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        weight = position - low
+        return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+    @property
+    def median(self) -> float:
+        """The 50th percentile."""
+        return self.quantile(0.5)
+
+    @property
+    def p95(self) -> float:
+        """The 95th percentile — the tail a deployment plans for."""
+        return self.quantile(0.95)
+
+    def histogram(self, bins: int = 10, width: int = 40) -> str:
+        """ASCII histogram of the distribution."""
+        return ascii_histogram(
+            self.rounds, bins=bins, width=width, label=self.algorithm
+        )
+
+
+def round_distributions(
+    algorithm_names: Sequence[str] = ("feedback", "afek-sweep"),
+    n: int = 100,
+    edge_probability: float = 0.5,
+    trials: int = 100,
+    master_seed: int = 2100,
+) -> Dict[str, RoundDistribution]:
+    """Collect round-count distributions over fresh graphs per trial."""
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    distributions = {
+        name: RoundDistribution(algorithm=name) for name in algorithm_names
+    }
+    for trial in range(trials):
+        graph = gnp_random_graph(
+            n, edge_probability, spawn_rng(master_seed, 0xD157, trial)
+        )
+        for index, name in enumerate(algorithm_names):
+            run = make_algorithm(name).run(
+                graph, spawn_rng(master_seed, index, trial)
+            )
+            distributions[name].rounds.append(run.rounds)
+    return distributions

@@ -1,0 +1,151 @@
+"""One-shot reproduction report.
+
+``build_report`` runs a reduced version of every experiment in the paper
+and renders a single text report — the programmatic counterpart of
+EXPERIMENTS.md, used by ``repro-mis report`` and handy for checking a
+changed algorithm against all claims at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.regression import fit_log2, fit_log2_squared
+from repro.experiments.ablations import factor_ablation
+from repro.experiments.figures import figure3_series, figure5_series, grid_beeps_series
+from repro.experiments.lower_bound import theorem1_experiment
+from repro.experiments.tables import format_experiment
+from repro.viz.ascii_plots import plot_experiment
+
+
+@dataclass(frozen=True)
+class ReportSection:
+    """One experiment's rendered block plus its pass/fail verdict."""
+
+    title: str
+    body: str
+    passed: bool
+
+
+def _verdict(flag: bool) -> str:
+    return "PASS" if flag else "FAIL"
+
+
+def _figure3_section(trials: int, master_seed: int) -> ReportSection:
+    sizes = (50, 100, 200, 400)
+    result = figure3_series(sizes=sizes, trials=trials, master_seed=master_seed)
+    feedback = result.means("feedback")
+    sweep = result.means("afek-sweep")
+    ns = result.xs("feedback")
+    feedback_fit = fit_log2(ns, feedback)
+    sweep_fit = fit_log2_squared(ns, sweep)
+    passed = (
+        all(f < s for f, s in zip(feedback, sweep))
+        and 1.0 < feedback_fit.slope < 5.0
+    )
+    body = (
+        format_experiment(result)
+        + f"\nfeedback fit: {feedback_fit.format()}"
+        + f"\nsweep fit:    {sweep_fit.format()}"
+        + "\n"
+        + plot_experiment(result, y_label="rounds")
+    )
+    return ReportSection("Figure 3: rounds vs n", body, passed)
+
+
+def _figure5_section(trials: int, master_seed: int) -> ReportSection:
+    result = figure5_series(
+        sizes=(10, 50, 100, 200), trials=trials, master_seed=master_seed
+    )
+    feedback = result.means("feedback")
+    sweep = result.means("afek-sweep")
+    passed = max(feedback) < 2.5 and sweep[-1] > sweep[0]
+    return ReportSection(
+        "Figure 5: beeps per node vs n",
+        format_experiment(result),
+        passed,
+    )
+
+
+def _grid_section(trials: int, master_seed: int) -> ReportSection:
+    result = grid_beeps_series(
+        side_lengths=(5, 10), trials=trials, master_seed=master_seed
+    )
+    means = [p.mean for p in result.series("feedback")]
+    passed = all(0.6 < m < 2.0 for m in means)
+    return ReportSection(
+        "Section 5: beeps per node on grids (paper: ~1.1)",
+        format_experiment(result),
+        passed,
+    )
+
+
+def _theorem1_section(trials: int, master_seed: int) -> ReportSection:
+    result = theorem1_experiment(
+        sides=(4, 8, 12), trials=trials, master_seed=master_seed
+    )
+    sweep = result.means("afek-sweep")
+    feedback = result.means("feedback")
+    passed = all(f < s for f, s in zip(feedback, sweep))
+    return ReportSection(
+        "Theorem 1: the disjoint-clique separation",
+        format_experiment(result),
+        passed,
+    )
+
+
+def _robustness_section(trials: int, master_seed: int) -> ReportSection:
+    result = factor_ablation(
+        factor_pairs=((0.5, 2.0), (0.3, 3.0), (0.7, 1.3)),
+        n=150,
+        trials=trials,
+        master_seed=master_seed,
+    )
+    baseline = result.points[0].mean
+    passed = all(p.mean < 3.0 * baseline for p in result.points)
+    return ReportSection(
+        "Section 6: factor robustness",
+        format_experiment(result),
+        passed,
+    )
+
+
+def build_sections(
+    trials: int = 10, master_seed: int = 2303
+) -> List[ReportSection]:
+    """Run every reduced experiment and return the rendered sections."""
+    if trials < 2:
+        raise ValueError("trials must be >= 2")
+    return [
+        _figure3_section(trials, master_seed),
+        _figure5_section(trials, master_seed),
+        _grid_section(trials, master_seed),
+        _theorem1_section(trials, master_seed),
+        _robustness_section(trials, master_seed),
+    ]
+
+
+def build_report(trials: int = 10, master_seed: int = 2303) -> str:
+    """The full text report, with a verdict summary at the top."""
+    sections = build_sections(trials, master_seed)
+    bar = "=" * 74
+    lines = [
+        bar,
+        "Reproduction report: 'Feedback from nature' (PODC 2013)",
+        f"(reduced scale: {trials} trials per point; see EXPERIMENTS.md "
+        "for the full-scale record)",
+        bar,
+        "",
+        "verdicts:",
+    ]
+    for section in sections:
+        lines.append(f"  [{_verdict(section.passed)}] {section.title}")
+    lines.append("")
+    for section in sections:
+        lines.append(bar)
+        lines.append(section.title)
+        lines.append(bar)
+        lines.append(section.body)
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""MIS-size study: how large are the sets the algorithms select?
+
+The paper's introduction notes that "different maximal independent sets for
+the same network can vary greatly in size" and that finding a *maximum* one
+is NP-hard.  This experiment quantifies where each algorithm's MIS sizes
+fall: mean size per algorithm on a common workload, plus — on graphs small
+enough for the exact branch-and-bound solver — the fraction of the optimum
+achieved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.algorithms.exact import MAX_EXACT_VERTICES, maximum_independent_set
+from repro.algorithms.registry import make_algorithm
+from repro.beeping.rng import spawn_rng
+from repro.experiments.records import ExperimentResult, SeriesPoint
+from repro.graphs.random_graphs import gnp_random_graph
+
+DEFAULT_ALGORITHMS = (
+    "feedback",
+    "afek-sweep",
+    "luby-permutation",
+    "greedy",
+)
+
+
+def mis_size_experiment(
+    n: int = 40,
+    edge_probability: float = 0.3,
+    trials: int = 20,
+    algorithm_names: Sequence[str] = DEFAULT_ALGORITHMS,
+    master_seed: int = 1701,
+    include_optimum: Optional[bool] = None,
+) -> ExperimentResult:
+    """Mean MIS size per algorithm over ``trials`` G(n, p) graphs.
+
+    When the graphs are small enough (or ``include_optimum`` forces it),
+    each point's ``extra["optimum_ratio"]`` records mean(size / optimum).
+    """
+    if include_optimum is None:
+        include_optimum = n <= MAX_EXACT_VERTICES
+    if include_optimum and n > MAX_EXACT_VERTICES:
+        raise ValueError(
+            f"exact optimum needs n <= {MAX_EXACT_VERTICES}, got {n}"
+        )
+    graphs = [
+        gnp_random_graph(
+            n, edge_probability, spawn_rng(master_seed, 0x517E, t)
+        )
+        for t in range(trials)
+    ]
+    optima: List[int] = []
+    if include_optimum:
+        optima = [len(maximum_independent_set(graph)) for graph in graphs]
+
+    points: List[SeriesPoint] = []
+    for index, name in enumerate(algorithm_names):
+        algorithm = make_algorithm(name)
+        sizes: List[int] = []
+        ratios: List[float] = []
+        for t, graph in enumerate(graphs):
+            run = algorithm.run(graph, spawn_rng(master_seed, index, t))
+            run.verify()
+            sizes.append(run.mis_size)
+            if include_optimum and optima[t] > 0:
+                ratios.append(run.mis_size / optima[t])
+        mean = sum(sizes) / len(sizes)
+        if len(sizes) > 1:
+            variance = sum((s - mean) ** 2 for s in sizes) / (len(sizes) - 1)
+            std = variance ** 0.5
+        else:
+            std = 0.0
+        extra: Dict[str, float] = {}
+        if ratios:
+            extra["optimum_ratio"] = sum(ratios) / len(ratios)
+        points.append(
+            SeriesPoint(
+                series=name,
+                x=float(n),
+                mean=mean,
+                std=std,
+                trials=trials,
+                extra=extra,
+            )
+        )
+    if include_optimum:
+        mean_opt = sum(optima) / len(optima)
+        points.append(
+            SeriesPoint(
+                series="optimum",
+                x=float(n),
+                mean=mean_opt,
+                std=0.0,
+                trials=trials,
+                extra={"optimum_ratio": 1.0},
+            )
+        )
+    return ExperimentResult(
+        experiment="mis-sizes",
+        points=points,
+        master_seed=master_seed,
+        parameters={
+            "n": n,
+            "edge_probability": edge_probability,
+            "trials": trials,
+            "include_optimum": include_optimum,
+        },
+    )

@@ -1,0 +1,121 @@
+"""Named workload registry.
+
+Experiments, benchmarks and the CLI refer to graph workloads by name; the
+registry centralises the definitions so a workload means the same graph
+family everywhere.  Each workload is a factory ``(n, rng) -> Graph``
+covering the families used across the paper and this reproduction.
+"""
+
+from __future__ import annotations
+
+import math
+from random import Random
+from typing import Callable, Dict, List
+
+from repro.graphs.graph import Graph
+from repro.graphs.cliques import theorem1_family
+from repro.graphs.random_graphs import (
+    barabasi_albert_graph,
+    gnp_random_graph,
+    random_geometric_graph,
+    random_tree,
+    watts_strogatz_graph,
+)
+from repro.graphs.structured import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    hex_lattice_graph,
+)
+
+WorkloadFactory = Callable[[int, Random], Graph]
+
+
+def _gnp_half(n: int, rng: Random) -> Graph:
+    return gnp_random_graph(n, 0.5, rng)
+
+
+def _gnp_sparse(n: int, rng: Random) -> Graph:
+    # Mean degree ~8, the interesting sparse regime.
+    p = min(1.0, 8.0 / max(n - 1, 1))
+    return gnp_random_graph(n, p, rng)
+
+
+def _grid(n: int, rng: Random) -> Graph:
+    side = max(1, round(math.sqrt(n)))
+    return grid_graph(side, side)
+
+
+def _hex(n: int, rng: Random) -> Graph:
+    side = max(1, round(math.sqrt(n)))
+    return hex_lattice_graph(side, side)
+
+
+def _geometric(n: int, rng: Random) -> Graph:
+    # Radius chosen for mean degree ~ 8: pi r^2 n ~ 8.
+    radius = math.sqrt(8.0 / (math.pi * max(n, 1)))
+    return random_geometric_graph(n, radius, rng)
+
+
+def _tree(n: int, rng: Random) -> Graph:
+    return random_tree(n, rng)
+
+
+def _scale_free(n: int, rng: Random) -> Graph:
+    return barabasi_albert_graph(max(n, 4), 3, rng)
+
+
+def _small_world(n: int, rng: Random) -> Graph:
+    return watts_strogatz_graph(max(n, 7), 6, 0.1, rng)
+
+
+def _clique(n: int, rng: Random) -> Graph:
+    return complete_graph(n)
+
+
+def _ring(n: int, rng: Random) -> Graph:
+    return cycle_graph(max(n, 3))
+
+
+def _theorem1(n: int, rng: Random) -> Graph:
+    # side ~ n^(1/3) gives ~n vertices.
+    side = max(1, round(n ** (1.0 / 3.0)))
+    return theorem1_family(side)
+
+
+_WORKLOADS: Dict[str, WorkloadFactory] = {
+    "gnp-half": _gnp_half,
+    "gnp-sparse": _gnp_sparse,
+    "grid": _grid,
+    "hex": _hex,
+    "geometric": _geometric,
+    "tree": _tree,
+    "scale-free": _scale_free,
+    "small-world": _small_world,
+    "clique": _clique,
+    "ring": _ring,
+    "theorem1": _theorem1,
+}
+
+
+def available_workloads() -> List[str]:
+    """Sorted list of registered workload names."""
+    return sorted(_WORKLOADS)
+
+
+def make_workload(name: str, n: int, rng: Random) -> Graph:
+    """Instantiate a registered workload at (approximately) size ``n``.
+
+    Structured families round ``n`` to their natural grid (e.g. ``grid``
+    uses the nearest square), so ``graph.num_vertices`` may differ
+    slightly from ``n``.
+    """
+    try:
+        factory = _WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {available_workloads()}"
+        ) from None
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return factory(n, rng)

@@ -1,0 +1,319 @@
+"""Core undirected graph data structure.
+
+The whole reproduction works with a single, deliberately small graph type:
+an immutable, undirected, simple graph over vertices ``0..n-1`` stored as a
+tuple of sorted neighbour tuples.  Immutability means a :class:`Graph` can be
+shared freely between trials, algorithms and engines without defensive
+copies, and the adjacency representation gives O(deg) neighbourhood scans,
+which is the access pattern of every round of a beeping simulation.
+
+Mutable construction goes through :class:`GraphBuilder`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+Edge = Tuple[int, int]
+
+
+def _normalise_edge(u: int, v: int) -> Edge:
+    """Return the canonical (min, max) form of an undirected edge."""
+    return (u, v) if u <= v else (v, u)
+
+
+class Graph:
+    """An immutable undirected simple graph on vertices ``0..n-1``.
+
+    Parameters
+    ----------
+    num_vertices:
+        The number of vertices ``n``.  Vertices are the integers
+        ``0..n-1``; isolated vertices are permitted and occur naturally in
+        sparse random graphs.
+    edges:
+        An iterable of ``(u, v)`` pairs.  Self-loops are rejected; duplicate
+        edges (in either orientation) are collapsed.
+
+    Examples
+    --------
+    >>> g = Graph(3, [(0, 1), (1, 2)])
+    >>> g.num_vertices, g.num_edges
+    (3, 2)
+    >>> g.neighbors(1)
+    (0, 2)
+    """
+
+    __slots__ = ("_adjacency", "_num_edges", "_neighbor_sets")
+
+    def __init__(self, num_vertices: int, edges: Iterable[Edge] = ()) -> None:
+        if num_vertices < 0:
+            raise ValueError(f"num_vertices must be >= 0, got {num_vertices}")
+        neighbor_sets: List[Set[int]] = [set() for _ in range(num_vertices)]
+        num_edges = 0
+        for u, v in edges:
+            self._check_vertex(u, num_vertices)
+            self._check_vertex(v, num_vertices)
+            if u == v:
+                raise ValueError(f"self-loop at vertex {u} is not allowed")
+            if v not in neighbor_sets[u]:
+                neighbor_sets[u].add(v)
+                neighbor_sets[v].add(u)
+                num_edges += 1
+        self._adjacency: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(neighbors)) for neighbors in neighbor_sets
+        )
+        self._neighbor_sets: Tuple[frozenset, ...] = tuple(
+            frozenset(neighbors) for neighbors in neighbor_sets
+        )
+        self._num_edges = num_edges
+
+    @staticmethod
+    def _check_vertex(v: int, num_vertices: int) -> None:
+        if not isinstance(v, int) or isinstance(v, bool):
+            raise TypeError(f"vertex must be an int, got {v!r}")
+        if not 0 <= v < num_vertices:
+            raise ValueError(
+                f"vertex {v} out of range for graph with {num_vertices} vertices"
+            )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (undirected) edges ``m``."""
+        return self._num_edges
+
+    def vertices(self) -> range:
+        """The vertex set as a ``range`` object."""
+        return range(self.num_vertices)
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """The sorted tuple of neighbours of ``v``."""
+        return self._adjacency[v]
+
+    def neighbor_set(self, v: int) -> frozenset:
+        """The neighbours of ``v`` as a frozenset (O(1) membership)."""
+        return self._neighbor_sets[v]
+
+    def degree(self, v: int) -> int:
+        """The degree of vertex ``v``."""
+        return len(self._adjacency[v])
+
+    def degrees(self) -> Tuple[int, ...]:
+        """Degrees of all vertices, indexed by vertex."""
+        return tuple(len(neighbors) for neighbors in self._adjacency)
+
+    def max_degree(self) -> int:
+        """The maximum degree, 0 for the empty graph."""
+        if self.num_vertices == 0:
+            return 0
+        return max(self.degrees())
+
+    def min_degree(self) -> int:
+        """The minimum degree, 0 for the empty graph."""
+        if self.num_vertices == 0:
+            return 0
+        return min(self.degrees())
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the edge ``{u, v}`` is present."""
+        self._check_vertex(u, self.num_vertices)
+        self._check_vertex(v, self.num_vertices)
+        return v in self._neighbor_sets[u]
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges in canonical ``(u, v)`` with ``u < v`` order."""
+        for u, neighbors in enumerate(self._adjacency):
+            for v in neighbors:
+                if u < v:
+                    yield (u, v)
+
+    def density(self) -> float:
+        """Edge density ``m / C(n, 2)``; 0.0 for graphs with < 2 vertices."""
+        n = self.num_vertices
+        if n < 2:
+            return 0.0
+        return self._num_edges / (n * (n - 1) / 2)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+
+    def subgraph(self, vertices: Sequence[int]) -> "Graph":
+        """The induced subgraph, with vertices relabelled to ``0..k-1``.
+
+        The relabelling follows the order of ``vertices``; duplicates are
+        rejected.
+        """
+        index: Dict[int, int] = {}
+        for i, v in enumerate(vertices):
+            self._check_vertex(v, self.num_vertices)
+            if v in index:
+                raise ValueError(f"duplicate vertex {v} in subgraph selection")
+            index[v] = i
+        edges = [
+            (index[u], index[v])
+            for u, v in self.edges()
+            if u in index and v in index
+        ]
+        return Graph(len(index), edges)
+
+    def complement(self) -> "Graph":
+        """The complement graph (quadratic; meant for small graphs)."""
+        n = self.num_vertices
+        edges = [
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if v not in self._neighbor_sets[u]
+        ]
+        return Graph(n, edges)
+
+    def disjoint_union(self, other: "Graph") -> "Graph":
+        """The disjoint union; ``other``'s vertices are shifted by ``n``."""
+        offset = self.num_vertices
+        edges = list(self.edges())
+        edges.extend((u + offset, v + offset) for u, v in other.edges())
+        return Graph(offset + other.num_vertices, edges)
+
+    def relabel(self, permutation: Sequence[int]) -> "Graph":
+        """Apply a vertex permutation: new graph has edge (p[u], p[v])."""
+        n = self.num_vertices
+        if sorted(permutation) != list(range(n)):
+            raise ValueError("permutation must be a bijection on 0..n-1")
+        return Graph(n, [(permutation[u], permutation[v]) for u, v in self.edges()])
+
+    # ------------------------------------------------------------------
+    # Connectivity
+    # ------------------------------------------------------------------
+
+    def connected_components(self) -> List[List[int]]:
+        """Connected components as sorted vertex lists, in discovery order."""
+        seen = [False] * self.num_vertices
+        components: List[List[int]] = []
+        for root in self.vertices():
+            if seen[root]:
+                continue
+            stack = [root]
+            seen[root] = True
+            component = []
+            while stack:
+                u = stack.pop()
+                component.append(u)
+                for w in self._adjacency[u]:
+                    if not seen[w]:
+                        seen[w] = True
+                        stack.append(w)
+            components.append(sorted(component))
+        return components
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (the empty graph counts as connected)."""
+        if self.num_vertices == 0:
+            return True
+        return len(self.connected_components()) == 1
+
+    # ------------------------------------------------------------------
+    # Matrix view
+    # ------------------------------------------------------------------
+
+    def adjacency_matrix(self):
+        """The boolean adjacency matrix as a numpy array (n x n)."""
+        import numpy as np
+
+        n = self.num_vertices
+        matrix = np.zeros((n, n), dtype=bool)
+        for u, v in self.edges():
+            matrix[u, v] = True
+            matrix[v, u] = True
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adjacency == other._adjacency
+
+    def __hash__(self) -> int:
+        return hash(self._adjacency)
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __contains__(self, v: object) -> bool:
+        return isinstance(v, int) and 0 <= v < self.num_vertices
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges})"
+        )
+
+
+class GraphBuilder:
+    """Mutable helper for incremental graph construction.
+
+    >>> builder = GraphBuilder()
+    >>> a, b = builder.add_vertex(), builder.add_vertex()
+    >>> builder.add_edge(a, b)
+    >>> builder.build().num_edges
+    1
+    """
+
+    def __init__(self, num_vertices: int = 0) -> None:
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be >= 0")
+        self._num_vertices = num_vertices
+        self._edges: Set[Edge] = set()
+
+    @property
+    def num_vertices(self) -> int:
+        """Current number of vertices."""
+        return self._num_vertices
+
+    def add_vertex(self) -> int:
+        """Add one vertex and return its id."""
+        v = self._num_vertices
+        self._num_vertices += 1
+        return v
+
+    def add_vertices(self, count: int) -> List[int]:
+        """Add ``count`` vertices and return their ids."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        return [self.add_vertex() for _ in range(count)]
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add the undirected edge ``{u, v}``; idempotent."""
+        if u == v:
+            raise ValueError(f"self-loop at vertex {u} is not allowed")
+        for w in (u, v):
+            if not 0 <= w < self._num_vertices:
+                raise ValueError(f"vertex {w} has not been added")
+        self._edges.add(_normalise_edge(u, v))
+
+    def add_clique(self, vertices: Sequence[int]) -> None:
+        """Add all C(k, 2) edges among ``vertices``."""
+        for i, u in enumerate(vertices):
+            for v in vertices[i + 1:]:
+                self.add_edge(u, v)
+
+    def add_path(self, vertices: Sequence[int]) -> None:
+        """Add consecutive edges along ``vertices``."""
+        for u, v in zip(vertices, vertices[1:]):
+            self.add_edge(u, v)
+
+    def build(self) -> Graph:
+        """Freeze the builder into an immutable :class:`Graph`."""
+        return Graph(self._num_vertices, sorted(self._edges))

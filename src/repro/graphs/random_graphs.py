@@ -1,0 +1,267 @@
+"""Random graph generators.
+
+All generators take an explicit :class:`random.Random` instance so trials are
+reproducible; none of them touch the global RNG.
+
+The paper's main experimental workload is the Erdős–Rényi model
+``G(n, 1/2)`` (:func:`gnp_random_graph` with ``p=0.5``); the geometric model
+is included because the paper's conclusion motivates the algorithm with
+ad-hoc sensor networks, for which random geometric graphs are the standard
+abstraction.
+"""
+
+from __future__ import annotations
+
+import math
+from random import Random
+from typing import List, Optional, Tuple
+
+from repro.graphs.graph import Graph, GraphBuilder
+
+
+def _require_probability(p: float) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {p}")
+
+
+def gnp_random_graph(n: int, p: float, rng: Random) -> Graph:
+    """An Erdős–Rényi graph ``G(n, p)``: each edge present independently.
+
+    Uses the geometric-skipping method of Batagelj and Brandes, so the
+    running time is O(n + m) rather than O(n^2) for sparse graphs, while
+    remaining exactly distributed as G(n, p).
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    _require_probability(p)
+    if p == 0.0 or n < 2:
+        return Graph(n)
+    if p == 1.0:
+        return Graph(n, [(u, v) for u in range(n) for v in range(u + 1, n)])
+    edges: List[Tuple[int, int]] = []
+    log_q = math.log(1.0 - p)
+    if log_q == 0.0:
+        # p is below float resolution (log1p(-p) rounds to 0): no edges.
+        return Graph(n)
+    v = 1
+    w = -1
+    while v < n:
+        w += 1 + int(math.log(1.0 - rng.random()) / log_q)
+        while w >= v and v < n:
+            w -= v
+            v += 1
+        if v < n:
+            edges.append((w, v))
+    return Graph(n, edges)
+
+
+def gnm_random_graph(n: int, m: int, rng: Random) -> Graph:
+    """A uniformly random graph with exactly ``n`` vertices and ``m`` edges."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    max_edges = n * (n - 1) // 2
+    if not 0 <= m <= max_edges:
+        raise ValueError(
+            f"m must be in [0, {max_edges}] for n={n}, got {m}"
+        )
+    chosen = set()
+    while len(chosen) < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v:
+            chosen.add((u, v) if u < v else (v, u))
+    return Graph(n, sorted(chosen))
+
+
+def random_bipartite_graph(
+    left: int, right: int, p: float, rng: Random
+) -> Graph:
+    """A random bipartite graph: parts ``0..left-1`` and ``left..left+right-1``,
+    each cross edge present independently with probability ``p``."""
+    if left < 0 or right < 0:
+        raise ValueError("part sizes must be >= 0")
+    _require_probability(p)
+    edges = [
+        (u, left + v)
+        for u in range(left)
+        for v in range(right)
+        if rng.random() < p
+    ]
+    return Graph(left + right, edges)
+
+
+def random_geometric_graph(
+    n: int,
+    radius: float,
+    rng: Random,
+    return_positions: bool = False,
+):
+    """A random geometric graph on the unit square.
+
+    ``n`` points are placed uniformly at random; two points are adjacent when
+    their Euclidean distance is at most ``radius``.  This is the standard
+    model for the ad-hoc wireless sensor networks that motivate beeping
+    algorithms.
+
+    When ``return_positions`` is true, returns ``(graph, positions)`` where
+    ``positions[v]`` is the (x, y) pair of vertex ``v``.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    positions = [(rng.random(), rng.random()) for _ in range(n)]
+    radius_squared = radius * radius
+    edges = []
+    # Grid-bucket the points so the expected running time is O(n + m).
+    cell = max(radius, 1e-9)
+    buckets = {}
+    for v, (x, y) in enumerate(positions):
+        buckets.setdefault((int(x / cell), int(y / cell)), []).append(v)
+    for (cx, cy), members in buckets.items():
+        neighbor_cells = [
+            (cx + dx, cy + dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1)
+        ]
+        for u in members:
+            ux, uy = positions[u]
+            for key in neighbor_cells:
+                for v in buckets.get(key, ()):
+                    if v <= u:
+                        continue
+                    vx, vy = positions[v]
+                    if (ux - vx) ** 2 + (uy - vy) ** 2 <= radius_squared:
+                        edges.append((u, v))
+    graph = Graph(n, edges)
+    if return_positions:
+        return graph, positions
+    return graph
+
+
+def random_tree(n: int, rng: Random) -> Graph:
+    """A uniformly random labelled tree on ``n`` vertices (Prüfer decoding)."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if n <= 1:
+        return Graph(n)
+    if n == 2:
+        return Graph(2, [(0, 1)])
+    sequence = [rng.randrange(n) for _ in range(n - 2)]
+    degree = [1] * n
+    for v in sequence:
+        degree[v] += 1
+    edges = []
+    # Standard Prüfer decoding with a pointer + leaf variable.
+    pointer = 0
+    while degree[pointer] != 1:
+        pointer += 1
+    leaf = pointer
+    for v in sequence:
+        edges.append((leaf, v))
+        degree[v] -= 1
+        if degree[v] == 1 and v < pointer:
+            leaf = v
+        else:
+            pointer += 1
+            while degree[pointer] != 1:
+                pointer += 1
+            leaf = pointer
+    edges.append((leaf, n - 1))
+    return Graph(n, edges)
+
+
+def barabasi_albert_graph(n: int, attachments: int, rng: Random) -> Graph:
+    """A preferential-attachment (Barabási–Albert) graph.
+
+    Starts from a star on ``attachments + 1`` vertices; each subsequent
+    vertex attaches to ``attachments`` distinct existing vertices chosen
+    with probability proportional to their degree.  Models the heavy-tailed
+    contact networks where adaptive probabilities matter most (hubs hear
+    beeps constantly, leaves rarely).
+    """
+    if attachments < 1:
+        raise ValueError(f"attachments must be >= 1, got {attachments}")
+    if n < attachments + 1:
+        raise ValueError(
+            f"n must be >= attachments + 1 = {attachments + 1}, got {n}"
+        )
+    builder = GraphBuilder(n)
+    # Seed star: vertex 0 connected to 1..attachments.
+    repeated: List[int] = []
+    for v in range(1, attachments + 1):
+        builder.add_edge(0, v)
+        repeated.extend((0, v))
+    for v in range(attachments + 1, n):
+        targets = set()
+        while len(targets) < attachments:
+            targets.add(repeated[rng.randrange(len(repeated))])
+        for target in sorted(targets):
+            builder.add_edge(v, target)
+            repeated.extend((v, target))
+    return builder.build()
+
+
+def watts_strogatz_graph(
+    n: int, nearest: int, rewire_probability: float, rng: Random
+) -> Graph:
+    """A small-world (Watts–Strogatz) graph.
+
+    A ring lattice where each vertex connects to its ``nearest`` clockwise
+    neighbours (``nearest`` must be even and < n), then each edge is
+    rewired to a uniform random endpoint with the given probability
+    (skipping rewirings that would create loops or duplicates).
+    """
+    if nearest % 2 != 0 or nearest < 2:
+        raise ValueError(f"nearest must be even and >= 2, got {nearest}")
+    if n <= nearest:
+        raise ValueError(f"n must exceed nearest, got n={n}")
+    _require_probability(rewire_probability)
+    edges = set()
+    for v in range(n):
+        for offset in range(1, nearest // 2 + 1):
+            w = (v + offset) % n
+            edges.add((min(v, w), max(v, w)))
+    rewired = set()
+    for u, v in sorted(edges):
+        if rng.random() < rewire_probability:
+            for _attempt in range(4 * n):
+                w = rng.randrange(n)
+                candidate = (min(u, w), max(u, w))
+                if w != u and candidate not in edges and candidate not in rewired:
+                    rewired.add(candidate)
+                    break
+            else:
+                rewired.add((u, v))
+        else:
+            rewired.add((u, v))
+    return Graph(n, sorted(rewired))
+
+
+def planted_independent_set_graph(
+    n: int,
+    planted_size: int,
+    p: float,
+    rng: Random,
+    return_planted: bool = False,
+):
+    """``G(n, p)`` conditioned on vertices ``0..planted_size-1`` being
+    independent (edges inside the planted set are simply removed).
+
+    Useful for tests that need a graph with a known large independent set.
+    When ``return_planted`` is true, returns ``(graph, planted_vertices)``.
+    """
+    if not 0 <= planted_size <= n:
+        raise ValueError(
+            f"planted_size must be in [0, {n}], got {planted_size}"
+        )
+    _require_probability(p)
+    builder = GraphBuilder(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if v < planted_size:
+                continue
+            if rng.random() < p:
+                builder.add_edge(u, v)
+    graph = builder.build()
+    if return_planted:
+        return graph, list(range(planted_size))
+    return graph

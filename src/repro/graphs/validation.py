@@ -1,0 +1,96 @@
+"""Predicates for independent sets and maximal independent sets.
+
+Every simulation in the test-suite and benchmark harness finishes by calling
+:func:`verify_mis` on its output, so correctness of the algorithms is checked
+by construction, not by eyeballing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from repro.graphs.graph import Graph
+
+
+class MISValidationError(AssertionError):
+    """Raised by :func:`verify_mis` when a claimed MIS is not one."""
+
+
+def _as_checked_set(graph: Graph, vertices: Iterable[int]) -> Set[int]:
+    vertex_set = set(vertices)
+    for v in vertex_set:
+        if v not in graph:
+            raise ValueError(
+                f"vertex {v} is not a vertex of {graph!r}"
+            )
+    return vertex_set
+
+
+def independent_set_violations(
+    graph: Graph, vertices: Iterable[int]
+) -> List[Tuple[int, int]]:
+    """All edges of ``graph`` with both endpoints in ``vertices``.
+
+    An empty result means the set is independent.
+    """
+    vertex_set = _as_checked_set(graph, vertices)
+    violations = []
+    for u in sorted(vertex_set):
+        for w in graph.neighbors(u):
+            if u < w and w in vertex_set:
+                violations.append((u, w))
+    return violations
+
+
+def is_independent_set(graph: Graph, vertices: Iterable[int]) -> bool:
+    """Whether no two vertices of the set are adjacent."""
+    return not independent_set_violations(graph, vertices)
+
+
+def uncovered_vertices(graph: Graph, vertices: Iterable[int]) -> List[int]:
+    """Vertices that are neither in the set nor adjacent to a set member.
+
+    An independent set is *maximal* exactly when this list is empty.
+    """
+    vertex_set = _as_checked_set(graph, vertices)
+    covered = set(vertex_set)
+    for v in vertex_set:
+        covered.update(graph.neighbors(v))
+    return [v for v in graph.vertices() if v not in covered]
+
+
+def is_dominating_for_uncovered(graph: Graph, vertices: Iterable[int]) -> bool:
+    """Whether every vertex is in the set or adjacent to a set member."""
+    return not uncovered_vertices(graph, vertices)
+
+
+def is_maximal_independent_set(graph: Graph, vertices: Iterable[int]) -> bool:
+    """Whether ``vertices`` is an independent dominating set (an MIS)."""
+    return is_independent_set(graph, vertices) and is_dominating_for_uncovered(
+        graph, vertices
+    )
+
+
+def verify_mis(graph: Graph, vertices: Iterable[int]) -> Set[int]:
+    """Assert that ``vertices`` is an MIS of ``graph`` and return it as a set.
+
+    Raises
+    ------
+    MISValidationError
+        With a message pinpointing the violated edge or uncovered vertex.
+    """
+    vertex_set = _as_checked_set(graph, vertices)
+    violations = independent_set_violations(graph, vertex_set)
+    if violations:
+        u, w = violations[0]
+        raise MISValidationError(
+            f"set is not independent: edge ({u}, {w}) has both endpoints "
+            f"in the set ({len(violations)} violating edges in total)"
+        )
+    uncovered = uncovered_vertices(graph, vertex_set)
+    if uncovered:
+        raise MISValidationError(
+            f"set is not maximal: vertex {uncovered[0]} is neither in the "
+            f"set nor adjacent to it ({len(uncovered)} uncovered vertices)"
+        )
+    return vertex_set

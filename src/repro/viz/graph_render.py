@@ -1,0 +1,71 @@
+"""Graph rendering for the terminal.
+
+Three small renderers:
+
+- :func:`render_adjacency` — the adjacency matrix as a character grid
+  (readable up to a few dozen vertices);
+- :func:`render_grid_mis` — a grid graph with MIS membership marked, the
+  closest terminal analogue of Figure 1's node colouring;
+- :func:`render_mis_listing` — a vertex-by-vertex listing with MIS and
+  coverage annotations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.graphs.graph import Graph
+
+
+def render_adjacency(graph: Graph, mis: Iterable[int] = ()) -> str:
+    """The adjacency matrix; MIS rows/columns are marked with ``*``.
+
+    ``#`` marks an edge, ``.`` a non-edge.
+    """
+    mis_set = set(mis)
+    n = graph.num_vertices
+    header_cells = [
+        ("*" if v in mis_set else " ") + str(v % 10) for v in range(n)
+    ]
+    lines = ["    " + " ".join(header_cells)]
+    for u in range(n):
+        mark = "*" if u in mis_set else " "
+        row = " ".join(
+            " #" if graph.has_edge(u, v) else " ." if u != v else "  "
+            for v in range(n)
+        )
+        lines.append(f"{mark}{u:2d}  {row}")
+    return "\n".join(lines)
+
+
+def render_grid_mis(rows: int, cols: int, mis: Iterable[int]) -> str:
+    """A ``rows x cols`` grid with ``■`` for MIS cells and ``·`` otherwise.
+
+    Vertex numbering must match :func:`repro.graphs.grid_graph`
+    (``v = r * cols + c``).
+    """
+    mis_set = set(mis)
+    lines = []
+    for r in range(rows):
+        cells = []
+        for c in range(cols):
+            v = r * cols + c
+            cells.append("■" if v in mis_set else "·")
+        lines.append(" ".join(cells))
+    return "\n".join(lines)
+
+
+def render_mis_listing(graph: Graph, mis: Iterable[int]) -> str:
+    """One line per vertex: membership, degree and the covering neighbour."""
+    mis_set: Set[int] = set(mis)
+    lines = []
+    for v in graph.vertices():
+        if v in mis_set:
+            role = "IN MIS"
+        else:
+            coverers = [w for w in graph.neighbors(v) if w in mis_set]
+            role = f"covered by {coverers[0]}" if coverers else "UNCOVERED"
+        lines.append(
+            f"v{v:<4d} deg={graph.degree(v):<4d} {role}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""ASCII histograms for terminal reports."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def bin_values(
+    values: Sequence[float], bins: int
+) -> List[Tuple[float, float, int]]:
+    """Equal-width binning: ``(low, high, count)`` per bin.
+
+    The last bin is closed on both sides so the maximum lands inside it.
+    """
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("cannot bin an empty sequence")
+    low, high = min(values), max(values)
+    if low == high:
+        return [(low, high, len(values))]
+    width = (high - low) / bins
+    counts = [0] * bins
+    for v in values:
+        index = min(int((v - low) / width), bins - 1)
+        counts[index] += 1
+    return [
+        (low + i * width, low + (i + 1) * width, counts[i])
+        for i in range(bins)
+    ]
+
+
+def ascii_histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 50,
+    label: str = "value",
+) -> str:
+    """A horizontal bar histogram.
+
+    >>> print(ascii_histogram([1, 1, 2], bins=2, width=4))  # doctest: +SKIP
+    """
+    binned = bin_values(values, bins)
+    peak = max(count for _low, _high, count in binned)
+    label_width = max(
+        len(f"{low:.3g}..{high:.3g}") for low, high, _count in binned
+    )
+    lines = [f"{label} histogram (n={len(list(values))})"]
+    for low, high, count in binned:
+        bar_length = 0 if peak == 0 else round(count / peak * width)
+        bucket = f"{low:.3g}..{high:.3g}".rjust(label_width)
+        lines.append(f"{bucket} | {'#' * bar_length} {count}")
+    return "\n".join(lines)

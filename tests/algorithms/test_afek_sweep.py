@@ -1,0 +1,110 @@
+"""Tests for the Afek et al. sweeping-probability baseline."""
+
+from random import Random
+
+import pytest
+
+from repro.algorithms.afek_sweep import (
+    AfekSweepMIS,
+    SweepScheduleNode,
+    sweep_phase_position,
+    sweep_probability,
+)
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.graphs.structured import complete_graph
+
+
+class TestSchedule:
+    def test_paper_sequence(self):
+        """Section 1 prints the sequence 1, 1/2, 1, 1/2, 1/4, 1, 1/2, ..."""
+        expected = [
+            1.0, 0.5,                     # phase 1
+            1.0, 0.5, 0.25,               # phase 2
+            1.0, 0.5, 0.25, 0.125,        # phase 3
+            1.0, 0.5, 0.25, 0.125, 0.0625,  # phase 4
+        ]
+        actual = [sweep_probability(t) for t in range(len(expected))]
+        assert actual == expected
+
+    def test_phase_positions(self):
+        assert sweep_phase_position(0) == (1, 0)
+        assert sweep_phase_position(1) == (1, 1)
+        assert sweep_phase_position(2) == (2, 0)
+        assert sweep_phase_position(4) == (2, 2)
+        assert sweep_phase_position(5) == (3, 0)
+
+    def test_phase_lengths(self):
+        """Phase k must contain exactly k + 1 steps."""
+        from collections import Counter
+
+        phases = Counter(
+            sweep_phase_position(t)[0] for t in range(200)
+        )
+        for k in range(1, 10):
+            assert phases[k] == k + 1
+
+    def test_probability_range(self):
+        for t in range(500):
+            p = sweep_probability(t)
+            assert 0.0 < p <= 1.0
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_phase_position(-1)
+
+    def test_each_phase_reaches_deeper(self):
+        """Phase k's minimum probability is 2^-k."""
+        lows = {}
+        for t in range(300):
+            k, _step = sweep_phase_position(t)
+            p = sweep_probability(t)
+            lows[k] = min(lows.get(k, 1.0), p)
+        fully_covered = [k for k in lows if k < max(lows)]
+        assert fully_covered
+        for k in fully_covered:
+            assert lows[k] == 2.0 ** -k
+
+
+class TestSweepNode:
+    def test_follows_schedule(self):
+        node = SweepScheduleNode()
+        for t in range(20):
+            node.on_round_start(t)
+            assert node.beep_probability() == sweep_probability(t)
+
+    def test_observation_ignored(self):
+        node = SweepScheduleNode()
+        node.on_round_start(3)
+        before = node.beep_probability()
+        node.observe_first_exchange(True, True)
+        assert node.beep_probability() == before
+
+
+class TestAlgorithm:
+    def test_name(self):
+        assert AfekSweepMIS().name == "afek-sweep"
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_correctness_random(self, seed):
+        graph = gnp_random_graph(30, 0.4, Random(seed))
+        AfekSweepMIS().run(graph, Random(seed + 7)).verify()
+
+    def test_complete_graph(self):
+        run = AfekSweepMIS().run(complete_graph(16), Random(8))
+        run.verify()
+        assert run.mis_size == 1
+
+    def test_slower_than_feedback_on_average(self, random50):
+        """The paper's headline comparison, at small scale."""
+        from repro.algorithms.feedback import FeedbackMIS
+
+        trials = 10
+        sweep_total = sum(
+            AfekSweepMIS().run(random50, Random(t)).rounds
+            for t in range(trials)
+        )
+        feedback_total = sum(
+            FeedbackMIS().run(random50, Random(t)).rounds
+            for t in range(trials)
+        )
+        assert sweep_total > feedback_total

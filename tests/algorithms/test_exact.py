@@ -1,0 +1,75 @@
+"""Tests for the exact maximum independent set solver."""
+
+from random import Random
+
+import pytest
+
+from repro.algorithms.exact import (
+    MAX_EXACT_VERTICES,
+    independence_number,
+    maximum_independent_set,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.random_graphs import gnp_random_graph, planted_independent_set_graph
+from repro.graphs.structured import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.validation import is_independent_set
+
+
+class TestKnownAnswers:
+    def test_empty_graph(self):
+        assert maximum_independent_set(empty_graph(5)) == {0, 1, 2, 3, 4}
+
+    def test_complete_graph(self):
+        assert independence_number(complete_graph(8)) == 1
+
+    @pytest.mark.parametrize("n,alpha", [(2, 1), (4, 2), (5, 3), (9, 5)])
+    def test_paths(self, n, alpha):
+        assert independence_number(path_graph(n)) == alpha
+
+    @pytest.mark.parametrize("n,alpha", [(3, 1), (4, 2), (5, 2), (8, 4), (9, 4)])
+    def test_cycles(self, n, alpha):
+        assert independence_number(cycle_graph(n)) == alpha
+
+    def test_star(self):
+        assert independence_number(star_graph(9)) == 9
+
+    def test_complete_bipartite(self):
+        assert independence_number(complete_bipartite_graph(4, 7)) == 7
+
+    def test_planted_set_found(self):
+        graph = planted_independent_set_graph(24, 9, 0.7, Random(1))
+        assert independence_number(graph) >= 9
+
+    def test_petersen_graph(self):
+        # The Petersen graph has independence number 4.
+        outer = [(i, (i + 1) % 5) for i in range(5)]
+        inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+        spokes = [(i, i + 5) for i in range(5)]
+        petersen = Graph(10, outer + inner + spokes)
+        assert independence_number(petersen) == 4
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_result_is_independent(self, seed):
+        graph = gnp_random_graph(18, 0.4, Random(seed))
+        result = maximum_independent_set(graph)
+        assert is_independent_set(graph, result)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_at_least_greedy_size(self, seed):
+        from repro.algorithms.greedy import greedy_mis
+
+        graph = gnp_random_graph(18, 0.4, Random(seed))
+        assert len(maximum_independent_set(graph)) >= len(greedy_mis(graph))
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError, match="limited"):
+            maximum_independent_set(empty_graph(MAX_EXACT_VERTICES + 1))

@@ -1,0 +1,71 @@
+"""Tests for the centralised greedy reference algorithm."""
+
+from random import Random
+
+import pytest
+
+from repro.algorithms.greedy import SequentialGreedyMIS, greedy_mis
+from repro.graphs.structured import complete_graph, path_graph, star_graph
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.graphs.validation import is_maximal_independent_set
+
+
+class TestGreedyFunction:
+    def test_default_order(self):
+        assert greedy_mis(path_graph(4)) == {0, 2}
+
+    def test_custom_order(self):
+        assert greedy_mis(path_graph(4), [1, 3, 0, 2]) == {1, 3}
+
+    def test_star_hub_first(self):
+        assert greedy_mis(star_graph(5)) == {0}
+
+    def test_star_leaf_first(self):
+        order = [1, 2, 3, 4, 5, 0]
+        assert greedy_mis(star_graph(5), order) == {1, 2, 3, 4, 5}
+
+    def test_order_must_be_permutation(self):
+        with pytest.raises(ValueError, match="permutation"):
+            greedy_mis(path_graph(3), [0, 1])
+        with pytest.raises(ValueError, match="permutation"):
+            greedy_mis(path_graph(3), [0, 1, 1])
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_always_mis(self, seed):
+        graph = gnp_random_graph(25, 0.35, Random(seed))
+        assert is_maximal_independent_set(graph, greedy_mis(graph))
+
+
+class TestAlgorithmWrapper:
+    def test_names(self):
+        assert SequentialGreedyMIS().name == "greedy"
+        assert SequentialGreedyMIS(randomize_order=False).name == "greedy-fixed"
+
+    def test_fixed_order_deterministic(self, random50):
+        algorithm = SequentialGreedyMIS(randomize_order=False)
+        a = algorithm.run(random50, Random(1))
+        b = algorithm.run(random50, Random(2))
+        assert a.mis == b.mis
+
+    def test_random_order_varies(self, random50):
+        algorithm = SequentialGreedyMIS()
+        results = {
+            frozenset(algorithm.run(random50, Random(seed)).mis)
+            for seed in range(10)
+        }
+        assert len(results) > 1
+
+    def test_reports_one_round(self, random50):
+        run = SequentialGreedyMIS().run(random50, Random(3))
+        assert run.rounds == 1
+        assert run.beeps_by_node is None
+        assert run.mean_beeps_per_node == 0.0
+
+    def test_order_in_extra(self, random50):
+        run = SequentialGreedyMIS().run(random50, Random(4))
+        assert sorted(run.extra["order"]) == list(range(50))
+
+    def test_complete_graph(self):
+        run = SequentialGreedyMIS().run(complete_graph(7), Random(5))
+        run.verify()
+        assert run.mis_size == 1

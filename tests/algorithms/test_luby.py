@@ -1,0 +1,75 @@
+"""Tests for the Luby baseline (both variants)."""
+
+import math
+from random import Random
+
+import pytest
+
+from repro.algorithms.luby import LubyMIS
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.graphs.structured import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    path_graph,
+)
+
+
+class TestConstruction:
+    def test_variant_names(self):
+        assert LubyMIS("permutation").name == "luby-permutation"
+        assert LubyMIS("probability").name == "luby-probability"
+
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError):
+            LubyMIS("bogus")
+
+
+@pytest.mark.parametrize("variant", ["permutation", "probability"])
+class TestCorrectness:
+    def test_empty_graph(self, variant):
+        run = LubyMIS(variant).run(empty_graph(4), Random(1))
+        run.verify()
+        assert run.mis == {0, 1, 2, 3}
+        assert run.rounds == 1
+
+    def test_complete_graph(self, variant):
+        run = LubyMIS(variant).run(complete_graph(10), Random(2))
+        run.verify()
+        assert run.mis_size == 1
+
+    def test_path_and_cycle(self, variant):
+        LubyMIS(variant).run(path_graph(9), Random(3)).verify()
+        LubyMIS(variant).run(cycle_graph(9), Random(4)).verify()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs(self, variant, seed):
+        graph = gnp_random_graph(30, 0.4, Random(seed))
+        LubyMIS(variant).run(graph, Random(seed + 9)).verify()
+
+    def test_messages_accounted(self, variant):
+        graph = gnp_random_graph(20, 0.5, Random(5))
+        run = LubyMIS(variant).run(graph, Random(6))
+        assert run.messages > 0
+        bits_per_value = math.ceil(math.log2(20))
+        assert run.bits == run.messages * bits_per_value
+
+
+class TestPerformance:
+    def test_few_rounds_on_random_graph(self):
+        graph = gnp_random_graph(200, 0.5, Random(7))
+        run = LubyMIS("permutation").run(graph, Random(8))
+        run.verify()
+        # Luby is O(log n) with small constants; generous band.
+        assert run.rounds <= 4 * math.log2(200)
+
+    def test_permutation_round_removes_conflict_free_minima(self):
+        # On an empty graph every vertex is a local minimum: one round.
+        run = LubyMIS("permutation").run(empty_graph(50), Random(9))
+        assert run.rounds == 1
+
+    def test_probability_variant_terminates_on_dense_graph(self):
+        graph = gnp_random_graph(80, 0.9, Random(10))
+        run = LubyMIS("probability").run(graph, Random(11))
+        run.verify()
+        assert run.rounds < 100

@@ -1,0 +1,75 @@
+"""Cross-algorithm performance-shape tests (small-scale Figure 3/5 facts).
+
+These tests pin the relative ordering of the algorithms — the qualitative
+content of the paper's evaluation — at sizes small enough for the unit
+test budget.  The full-scale quantitative checks live in the benchmarks.
+"""
+
+import math
+from random import Random
+
+import pytest
+
+from repro.algorithms.registry import make_algorithm
+from repro.graphs.random_graphs import gnp_random_graph
+
+
+def mean_rounds(name: str, graph, trials: int = 12, base_seed: int = 0) -> float:
+    algorithm = make_algorithm(name)
+    total = 0
+    for t in range(trials):
+        run = algorithm.run(graph, Random(base_seed + t))
+        total += run.rounds
+    return total / trials
+
+
+def mean_beeps(name: str, graph, trials: int = 12, base_seed: int = 0) -> float:
+    algorithm = make_algorithm(name)
+    total = 0.0
+    for t in range(trials):
+        run = algorithm.run(graph, Random(base_seed + t))
+        total += run.mean_beeps_per_node
+    return total / trials
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return gnp_random_graph(80, 0.5, Random(17))
+
+
+class TestRoundOrdering:
+    def test_feedback_beats_sweep(self, workload):
+        assert mean_rounds("feedback", workload) < mean_rounds(
+            "afek-sweep", workload
+        )
+
+    def test_luby_fast(self, workload):
+        assert mean_rounds("luby-permutation", workload) < 3 * math.log2(80)
+
+    def test_beeping_slower_than_full_message_passing(self, workload):
+        """One-bit beeps cost more rounds than full numeric messages —
+        the price of the restricted model."""
+        assert mean_rounds("luby-permutation", workload) <= mean_rounds(
+            "feedback", workload
+        )
+
+    def test_sweep_within_polylog(self, workload):
+        assert mean_rounds("afek-sweep", workload) < 3 * math.log2(80) ** 2
+
+
+class TestBeepOrdering:
+    def test_feedback_fewer_beeps_than_sweep(self, workload):
+        assert mean_beeps("feedback", workload) < mean_beeps(
+            "afek-sweep", workload
+        )
+
+    def test_feedback_beeps_near_paper_value(self, workload):
+        assert 0.7 < mean_beeps("feedback", workload) < 1.8
+
+
+class TestMISQuality:
+    def test_all_algorithms_nontrivial_sets(self, workload):
+        lower = workload.num_vertices / (workload.max_degree() + 1)
+        for name in ("feedback", "afek-sweep", "luby-permutation", "greedy"):
+            run = make_algorithm(name).run(workload, Random(23))
+            assert run.mis_size >= lower

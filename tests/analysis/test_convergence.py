@@ -1,0 +1,111 @@
+"""Tests for convergence analysis."""
+
+import math
+from random import Random
+
+import pytest
+
+from repro.analysis.convergence import (
+    active_series,
+    empirical_half_life,
+    fit_exponential_decay,
+    inactivation_series,
+    rounds_to_fraction,
+)
+from repro.beeping.metrics import RoundRecord
+
+
+def _records(counts):
+    records = []
+    for t, (active, gone) in enumerate(counts):
+        records.append(
+            RoundRecord(
+                round_index=t,
+                active_before=active,
+                beeps=0,
+                joins=gone,
+                retirements=0,
+            )
+        )
+    return records
+
+
+class TestSeries:
+    def test_active_series(self):
+        records = _records([(10, 4), (6, 6)])
+        assert active_series(records) == [10, 6]
+
+    def test_inactivation_series(self):
+        records = _records([(10, 4), (6, 6)])
+        assert inactivation_series(records) == [4, 6]
+
+
+class TestDecayFit:
+    def test_perfect_geometric(self):
+        series = [int(1000 * 0.5 ** t) for t in range(8)]
+        fit = fit_exponential_decay(series)
+        assert fit is not None
+        assert fit.rate == pytest.approx(0.5, abs=0.02)
+        assert fit.r_squared > 0.999
+        assert fit.half_life == pytest.approx(1.0, abs=0.05)
+
+    def test_slow_decay(self):
+        series = [int(1000 * 0.9 ** t) for t in range(20)]
+        fit = fit_exponential_decay(series)
+        assert fit.rate == pytest.approx(0.9, abs=0.02)
+        assert fit.half_life == pytest.approx(math.log(0.5) / math.log(0.9), rel=0.1)
+
+    def test_zero_terminates_prefix(self):
+        fit = fit_exponential_decay([100, 50, 0, 0])
+        assert fit is not None
+        assert fit.rate == pytest.approx(0.5, abs=0.01)
+
+    def test_too_short(self):
+        assert fit_exponential_decay([5]) is None
+        assert fit_exponential_decay([]) is None
+        assert fit_exponential_decay([0, 0]) is None
+
+    def test_constant_series_infinite_half_life(self):
+        fit = fit_exponential_decay([10, 10, 10, 10])
+        assert fit is not None
+        assert fit.rate == pytest.approx(1.0)
+        assert fit.half_life == math.inf
+
+
+class TestHalfLife:
+    def test_exact(self):
+        assert empirical_half_life([100, 80, 50, 20]) == 2
+
+    def test_never_halves(self):
+        assert empirical_half_life([10, 9, 8]) is None
+
+    def test_empty(self):
+        assert empirical_half_life([]) is None
+
+    def test_rounds_to_fraction(self):
+        series = [100, 60, 30, 9, 0]
+        assert rounds_to_fraction(series, 0.5) == 2
+        assert rounds_to_fraction(series, 0.1) == 3
+        assert rounds_to_fraction(series, 0.0) == 4
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            rounds_to_fraction([10], 1.5)
+
+
+class TestOnRealRuns:
+    def test_feedback_run_decays_geometrically(self):
+        from repro.algorithms.feedback import FeedbackMIS
+        from repro.graphs.random_graphs import gnp_random_graph
+
+        graph = gnp_random_graph(120, 0.3, Random(5))
+        run = FeedbackMIS().run(graph, Random(6))
+        series = active_series(run.simulation.metrics.round_records)
+        assert series[0] == 120
+        fit = fit_exponential_decay(series)
+        assert fit is not None
+        # The active set shrinks by a constant factor per round on average.
+        assert fit.rate < 0.95
+        half = empirical_half_life(series)
+        assert half is not None
+        assert half <= run.rounds

@@ -1,0 +1,102 @@
+"""Tests for the scaling-law regression fits."""
+
+import math
+from random import Random
+
+import pytest
+
+from repro.analysis.regression import (
+    best_model,
+    fit_linear,
+    fit_log2,
+    fit_log2_squared,
+    r_squared,
+)
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        fit = fit_linear([1, 2, 3, 4], [3, 5, 7, 9])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_linear([0, 1], [1, 3])
+        assert fit.predict(2.0) == pytest.approx(5.0)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_linear([1], [1])
+
+    def test_constant_feature_rejected(self):
+        with pytest.raises(ValueError, match="identical"):
+            fit_linear([2, 2, 2], [1, 2, 3])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_linear([1, 2], [1])
+
+    def test_format(self):
+        text = fit_linear([1, 2, 3], [2, 4, 6]).format()
+        assert "x" in text and "R²" in text
+
+
+class TestLogFits:
+    def test_recovers_log_law(self):
+        ns = [50, 100, 200, 400, 800]
+        ys = [2.5 * math.log2(n) + 1.0 for n in ns]
+        fit = fit_log2(ns, ys)
+        assert fit.slope == pytest.approx(2.5)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.feature_name == "log2(n)"
+
+    def test_recovers_log_squared_law(self):
+        ns = [50, 100, 200, 400, 800]
+        ys = [1.0 * math.log2(n) ** 2 for n in ns]
+        fit = fit_log2_squared(ns, ys)
+        assert fit.slope == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_recovery(self):
+        rng = Random(1)
+        ns = list(range(50, 1001, 50))
+        ys = [2.5 * math.log2(n) + rng.gauss(0, 0.5) for n in ns]
+        fit = fit_log2(ns, ys)
+        assert fit.slope == pytest.approx(2.5, abs=0.5)
+        assert fit.r_squared > 0.8
+
+
+class TestModelSelection:
+    def test_log_data_prefers_log_model(self):
+        ns = [50, 100, 200, 400, 800, 1000]
+        ys = [2.5 * math.log2(n) for n in ns]
+        name, fit = best_model(ns, ys)
+        assert name == "log2"
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_log_squared_data_prefers_square_model(self):
+        ns = [50, 100, 200, 400, 800, 1000]
+        ys = [math.log2(n) ** 2 for n in ns]
+        name, _fit = best_model(ns, ys)
+        assert name == "log2_squared"
+
+
+class TestRSquared:
+    def test_perfect_prediction(self):
+        assert r_squared([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_mean_prediction_is_zero(self):
+        assert r_squared([1, 2, 3], [2, 2, 2]) == pytest.approx(0.0)
+
+    def test_constant_target(self):
+        assert r_squared([5, 5], [5, 5]) == 1.0
+        assert r_squared([5, 5], [4, 6]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            r_squared([], [])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            r_squared([1, 2], [1])

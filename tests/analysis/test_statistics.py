@@ -1,0 +1,107 @@
+"""Tests for summary statistics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.statistics import (
+    confidence_interval,
+    mean,
+    median,
+    sample_std,
+    standard_error,
+    summarize,
+)
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1, 2, 3, 4]) == 2.5
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_sample_std_known_value(self):
+        assert sample_std([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(
+            math.sqrt(32 / 7)
+        )
+
+    def test_std_of_singleton_is_zero(self):
+        assert sample_std([5.0]) == 0.0
+
+    def test_standard_error(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert standard_error(values) == pytest.approx(
+            sample_std(values) / 2.0
+        )
+
+    def test_median_odd_even(self):
+        assert median([3, 1, 2]) == 2
+        assert median([4, 1, 3, 2]) == 2.5
+
+    def test_median_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median([])
+
+
+class TestConfidenceInterval:
+    def test_symmetric_about_mean(self):
+        low, high = confidence_interval([1, 2, 3, 4, 5])
+        assert (low + high) / 2 == pytest.approx(3.0)
+
+    def test_wider_at_higher_level(self):
+        values = [1, 2, 3, 4, 5, 6]
+        low95, high95 = confidence_interval(values, 0.95)
+        low99, high99 = confidence_interval(values, 0.99)
+        assert high99 - low99 > high95 - low95
+
+    def test_unsupported_level(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1, 2], level=0.5)
+
+    def test_degenerate_sample(self):
+        low, high = confidence_interval([7.0])
+        assert low == high == 7.0
+
+
+class TestSummarize:
+    def test_fields(self):
+        stats = summarize([1, 2, 3, 4])
+        assert stats.count == 4
+        assert stats.mean == 2.5
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.median == 2.5
+        assert stats.std == pytest.approx(sample_std([1, 2, 3, 4]))
+
+    def test_format(self):
+        assert summarize([1.0, 3.0]).format() == "2.00 ± 1.41 (n=2)"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+def test_summary_ordering_invariants(values):
+    stats = summarize(values)
+    # Tolerance: summing floats can carry the mean a few ulps past the
+    # extremes (e.g. mean([0.05]*3) > 0.05).
+    slack = 1e-9 * max(1.0, abs(stats.minimum), abs(stats.maximum))
+    assert stats.minimum <= stats.median <= stats.maximum
+    assert stats.minimum - slack <= stats.mean <= stats.maximum + slack
+    assert stats.std >= 0.0
+    assert stats.sem <= stats.std + 1e-9
+
+
+@given(
+    st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=2, max_size=30),
+    st.floats(min_value=-10, max_value=10),
+)
+def test_mean_shift_equivariance(values, shift):
+    shifted = [v + shift for v in values]
+    assert mean(shifted) == pytest.approx(mean(values) + shift, abs=1e-6)
+    assert sample_std(shifted) == pytest.approx(sample_std(values), abs=1e-6)

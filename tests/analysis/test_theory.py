@@ -1,0 +1,92 @@
+"""Tests for the theoretical reference quantities."""
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    MAX_CLIQUE_PROGRESS_BOUND,
+    clique_progress_probability,
+    clique_progress_upper_bound,
+    expected_rounds_complete_graph_first_join,
+    figure3_feedback_reference,
+    figure3_sweep_reference,
+    optimal_clique_probability,
+)
+
+
+class TestReferenceCurves:
+    def test_values_at_1024(self):
+        assert figure3_sweep_reference(1024) == pytest.approx(100.0)
+        assert figure3_feedback_reference(1024) == pytest.approx(25.0)
+
+    def test_degenerate(self):
+        assert figure3_sweep_reference(1) == 0.0
+        assert figure3_feedback_reference(0.5) == 0.0
+
+    def test_sweep_dominates_eventually(self):
+        # log^2 n > 2.5 log n exactly when log n > 2.5, i.e. n > ~5.66.
+        assert figure3_sweep_reference(4) < figure3_feedback_reference(4)
+        assert figure3_sweep_reference(64) > figure3_feedback_reference(64)
+
+
+class TestCliqueProgress:
+    def test_exact_formula(self):
+        assert clique_progress_probability(1, 0.5) == 0.5
+        assert clique_progress_probability(2, 0.5) == pytest.approx(0.5)
+        assert clique_progress_probability(4, 0.25) == pytest.approx(
+            4 * 0.25 * 0.75 ** 3
+        )
+
+    def test_maximised_near_one_over_d(self):
+        d = 20
+        p_star = optimal_clique_probability(d)
+        best = clique_progress_probability(d, p_star)
+        for p in (p_star / 3, p_star * 3):
+            assert clique_progress_probability(d, p) < best
+
+    def test_upper_bound_dominates(self):
+        for d in (2, 3, 5, 10, 50):
+            for p in (0.01, 0.1, 0.3, 0.5, 0.9):
+                assert clique_progress_probability(
+                    d, p
+                ) <= clique_progress_upper_bound(d, p) + 1e-12
+
+    def test_paper_bound_holds_for_d_above_2(self):
+        """The proof's bound 3/(2e) on d·p·e^{-(d-1)p} for d > 2."""
+        for d in range(3, 60):
+            for i in range(1, 100):
+                p = i / 100
+                assert (
+                    clique_progress_upper_bound(d, p)
+                    <= MAX_CLIQUE_PROGRESS_BOUND + 1e-12
+                )
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            clique_progress_probability(0, 0.5)
+        with pytest.raises(ValueError):
+            clique_progress_probability(3, 1.5)
+        with pytest.raises(ValueError):
+            clique_progress_upper_bound(0, 0.5)
+        with pytest.raises(ValueError):
+            optimal_clique_probability(0)
+
+
+class TestCompleteGraphSlowness:
+    def test_paper_example(self):
+        """Section 4: for K_n at p=1/2 the per-step success probability is
+        n/2^n, so the expected wait is 2^n/n."""
+        n = 20
+        expected = expected_rounds_complete_graph_first_join(n)
+        assert expected == pytest.approx(2 ** n / n)
+
+    def test_infinite_when_impossible(self):
+        assert expected_rounds_complete_graph_first_join(5, 0.0) == math.inf
+
+    def test_fast_at_good_probability(self):
+        n = 64
+        good = expected_rounds_complete_graph_first_join(n, 1.0 / n)
+        bad = expected_rounds_complete_graph_first_join(n, 0.5)
+        assert good < 4
+        assert bad > 1e10

@@ -1,0 +1,75 @@
+"""Tests for dominating-set construction."""
+
+from random import Random
+
+import pytest
+
+from repro.applications.dominating import (
+    greedy_dominating_set,
+    mis_dominating_set,
+    verify_dominating_set,
+)
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.graphs.structured import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.validation import is_independent_set
+
+
+class TestVerify:
+    def test_accepts_valid(self):
+        assert verify_dominating_set(star_graph(4), {0}) == {0}
+
+    def test_rejects_invalid(self):
+        with pytest.raises(AssertionError, match="not dominated"):
+            verify_dominating_set(path_graph(5), {0})
+
+    def test_empty_graph(self):
+        assert verify_dominating_set(empty_graph(0), set()) == set()
+
+
+class TestMisDominatingSet:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_dominating_and_independent(self, seed):
+        graph = gnp_random_graph(30, 0.3, Random(seed))
+        chosen = mis_dominating_set(graph, Random(seed + 40))
+        verify_dominating_set(graph, chosen)
+        assert is_independent_set(graph, chosen)
+
+    def test_star(self):
+        chosen = mis_dominating_set(star_graph(8), Random(1))
+        assert chosen == {0} or chosen == set(range(1, 9))
+
+
+class TestGreedyDominatingSet:
+    def test_star_picks_hub(self):
+        assert greedy_dominating_set(star_graph(9)) == {0}
+
+    def test_path(self):
+        chosen = greedy_dominating_set(path_graph(9))
+        verify_dominating_set(path_graph(9), chosen)
+        assert len(chosen) == 3  # ceil(9/3): greedy is optimal on paths
+
+    def test_complete_graph_one_vertex(self):
+        assert len(greedy_dominating_set(complete_graph(7))) == 1
+
+    def test_isolated_vertices_all_chosen(self):
+        assert greedy_dominating_set(empty_graph(4)) == {0, 1, 2, 3}
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_greedy_not_larger_than_mis_by_much(self, seed):
+        """Greedy optimises size; the MIS trades size for independence.
+        Greedy should never be dramatically larger."""
+        graph = gnp_random_graph(30, 0.3, Random(seed))
+        greedy = greedy_dominating_set(graph)
+        mis = mis_dominating_set(graph, Random(seed + 50))
+        assert len(greedy) <= len(mis) + 2
+
+    def test_cycle(self):
+        chosen = greedy_dominating_set(cycle_graph(12))
+        verify_dominating_set(cycle_graph(12), chosen)
+        assert len(chosen) <= 5

@@ -1,0 +1,111 @@
+"""Tests for MIS-based maximal matching."""
+
+from random import Random
+
+import pytest
+
+from repro.applications.matching import (
+    line_graph,
+    mis_matching,
+    verify_maximal_matching,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.graphs.structured import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    path_graph,
+    star_graph,
+)
+
+
+class TestLineGraph:
+    def test_path(self):
+        lg, edges = line_graph(path_graph(4))
+        # P4 has 3 edges; consecutive edges share a vertex -> L(P4) = P3.
+        assert lg.num_vertices == 3
+        assert lg.num_edges == 2
+        assert edges == [(0, 1), (1, 2), (2, 3)]
+
+    def test_star_line_graph_is_clique(self):
+        lg, _edges = line_graph(star_graph(5))
+        assert lg.num_vertices == 5
+        assert lg.num_edges == 10  # K5
+
+    def test_triangle_line_graph_is_triangle(self):
+        lg, _edges = line_graph(complete_graph(3))
+        assert lg.num_vertices == 3
+        assert lg.num_edges == 3
+
+    def test_empty(self):
+        lg, edges = line_graph(empty_graph(4))
+        assert lg.num_vertices == 0
+        assert edges == []
+
+    def test_edge_count_formula(self):
+        # |E(L(G))| = sum_v C(deg(v), 2).
+        graph = gnp_random_graph(15, 0.4, Random(1))
+        lg, _edges = line_graph(graph)
+        expected = sum(
+            graph.degree(v) * (graph.degree(v) - 1) // 2
+            for v in graph.vertices()
+        )
+        assert lg.num_edges == expected
+
+
+class TestVerifyMatching:
+    def test_accepts_valid(self):
+        graph = path_graph(4)
+        assert verify_maximal_matching(graph, {(0, 1), (2, 3)}) == {
+            (0, 1),
+            (2, 3),
+        }
+
+    def test_rejects_shared_endpoint(self):
+        graph = path_graph(3)
+        with pytest.raises(AssertionError, match="shares an endpoint"):
+            verify_maximal_matching(graph, {(0, 1), (1, 2)})
+
+    def test_rejects_non_edge(self):
+        graph = path_graph(3)
+        with pytest.raises(AssertionError, match="not an edge"):
+            verify_maximal_matching(graph, {(0, 2)})
+
+    def test_rejects_non_maximal(self):
+        graph = path_graph(5)
+        with pytest.raises(AssertionError, match="not maximal"):
+            verify_maximal_matching(graph, {(1, 2)})
+
+
+class TestMisMatching:
+    def test_empty_graph(self):
+        result = mis_matching(empty_graph(5), Random(1))
+        assert result.matching == set()
+        assert result.size == 0
+
+    def test_single_edge(self):
+        result = mis_matching(Graph(2, [(0, 1)]), Random(2))
+        assert result.matching == {(0, 1)}
+
+    def test_star_matches_one_edge(self):
+        result = mis_matching(star_graph(6), Random(3))
+        assert result.size == 1
+
+    def test_even_cycle(self):
+        result = mis_matching(cycle_graph(8), Random(4))
+        assert 3 <= result.size <= 4
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs(self, seed):
+        graph = gnp_random_graph(20, 0.3, Random(seed))
+        result = mis_matching(graph, Random(seed + 20))
+        verify_maximal_matching(graph, result.matching)
+        assert len(result.matched_vertices()) == 2 * result.size
+
+    def test_matching_at_least_half_maximum(self):
+        """A maximal matching is a 2-approximation of the maximum one;
+        check against the trivial upper bound n/2."""
+        graph = complete_graph(10)
+        result = mis_matching(graph, Random(30))
+        assert result.size >= 10 // 4

@@ -1,0 +1,117 @@
+"""Unit tests for beep delivery and fault injection."""
+
+from random import Random
+
+from repro.beeping.channel import BeepChannel
+from repro.beeping.faults import FaultModel
+from repro.graphs.structured import complete_graph, path_graph, star_graph
+
+
+class TestFaultFreeDelivery:
+    def test_hears_adjacent_beep(self):
+        channel = BeepChannel(path_graph(3))
+        heard = channel.deliver({0}, {0, 1, 2}, Random(1))
+        assert heard == {1}
+
+    def test_beeper_does_not_hear_itself(self):
+        channel = BeepChannel(path_graph(2))
+        heard = channel.deliver({0}, {0, 1}, Random(1))
+        assert 0 not in heard
+
+    def test_multiple_beepers(self):
+        channel = BeepChannel(path_graph(4))
+        heard = channel.deliver({0, 3}, {0, 1, 2, 3}, Random(1))
+        assert heard == {1, 2}
+
+    def test_only_listeners_reported(self):
+        channel = BeepChannel(star_graph(4))
+        heard = channel.deliver({0}, {1, 2}, Random(1))
+        assert heard == {1, 2}
+
+    def test_no_beepers(self):
+        channel = BeepChannel(complete_graph(4))
+        assert channel.deliver(set(), {0, 1, 2, 3}, Random(1)) == set()
+
+    def test_reliable_or(self):
+        channel = BeepChannel(path_graph(3))
+        assert channel.reliable_or({0}, 1)
+        assert not channel.reliable_or({0}, 2)
+
+
+class TestBeepLoss:
+    def test_total_loss_silences_channel(self):
+        channel = BeepChannel(
+            complete_graph(5), FaultModel(beep_loss_probability=1.0)
+        )
+        heard = channel.deliver({0, 1}, set(range(5)), Random(1))
+        assert heard == set()
+
+    def test_zero_loss_equals_fault_free(self):
+        graph = complete_graph(6)
+        lossless = BeepChannel(graph, FaultModel(beep_loss_probability=0.0))
+        plain = BeepChannel(graph)
+        beepers = {0, 3}
+        listeners = set(range(6))
+        assert lossless.deliver(beepers, listeners, Random(2)) == plain.deliver(
+            beepers, listeners, Random(2)
+        )
+
+    def test_partial_loss_drops_some_deliveries(self):
+        graph = star_graph(200)
+        channel = BeepChannel(graph, FaultModel(beep_loss_probability=0.5))
+        heard = channel.deliver({0}, set(range(1, 201)), Random(3))
+        # Each leaf independently hears with probability 1/2.
+        assert 50 < len(heard) < 150
+
+    def test_loss_is_per_edge_not_per_beep(self):
+        # With two beeping neighbours and 50% loss, a listener hears with
+        # probability 3/4; over many trials some rounds must still deliver.
+        graph = path_graph(3)  # 1 listens to 0 and 2
+        channel = BeepChannel(graph, FaultModel(beep_loss_probability=0.5))
+        outcomes = [
+            1 in channel.deliver({0, 2}, {1}, Random(seed))
+            for seed in range(200)
+        ]
+        hear_rate = sum(outcomes) / len(outcomes)
+        assert 0.6 < hear_rate < 0.9
+
+
+class TestSpuriousBeeps:
+    def test_certain_spurious_fills_listeners(self):
+        channel = BeepChannel(
+            path_graph(4), FaultModel(spurious_beep_probability=1.0)
+        )
+        heard = channel.deliver(set(), {0, 1, 2, 3}, Random(1))
+        assert heard == {0, 1, 2, 3}
+
+    def test_spurious_rate(self):
+        channel = BeepChannel(
+            star_graph(300), FaultModel(spurious_beep_probability=0.2)
+        )
+        heard = channel.deliver(set(), set(range(1, 301)), Random(4))
+        assert 30 < len(heard) < 100
+
+    def test_real_beeps_unaffected(self):
+        channel = BeepChannel(
+            path_graph(2), FaultModel(spurious_beep_probability=0.5)
+        )
+        heard = channel.deliver({0}, {0, 1}, Random(5))
+        assert 1 in heard
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        channel = BeepChannel(
+            complete_graph(20),
+            FaultModel(beep_loss_probability=0.3, spurious_beep_probability=0.1),
+        )
+        a = channel.deliver({0, 5, 9}, set(range(20)), Random(42))
+        b = channel.deliver({0, 5, 9}, set(range(20)), Random(42))
+        assert a == b
+
+    def test_fault_free_consumes_no_randomness(self):
+        channel = BeepChannel(complete_graph(5))
+        rng = Random(1)
+        channel.deliver({0}, set(range(5)), rng)
+        fresh = Random(1)
+        assert rng.random() == fresh.random()

@@ -1,0 +1,70 @@
+"""Property-based tests for the beep channel."""
+
+from random import Random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.beeping.channel import BeepChannel
+from repro.beeping.faults import FaultModel
+from repro.graphs.random_graphs import gnp_random_graph
+
+
+@st.composite
+def channel_cases(draw):
+    n = draw(st.integers(min_value=1, max_value=20))
+    p = draw(st.floats(min_value=0.0, max_value=1.0))
+    graph_seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    graph = gnp_random_graph(n, p, Random(graph_seed))
+    vertices = list(range(n))
+    beepers = set(draw(st.lists(st.sampled_from(vertices), max_size=n)))
+    listeners = set(draw(st.lists(st.sampled_from(vertices), max_size=n)))
+    return graph, beepers, listeners
+
+
+@given(channel_cases())
+@settings(max_examples=60, deadline=None)
+def test_heard_is_subset_of_listeners(case):
+    graph, beepers, listeners = case
+    channel = BeepChannel(graph)
+    heard = channel.deliver(beepers, listeners, Random(1))
+    assert heard <= listeners
+
+
+@given(channel_cases())
+@settings(max_examples=60, deadline=None)
+def test_fault_free_heard_is_exact_neighbor_or(case):
+    graph, beepers, listeners = case
+    channel = BeepChannel(graph)
+    heard = channel.deliver(beepers, listeners, Random(1))
+    expected = {
+        v
+        for v in listeners
+        if any(w in beepers for w in graph.neighbors(v))
+    }
+    assert heard == expected
+
+
+@given(channel_cases(), st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_losses_only_remove_and_spurious_only_add(case, seed):
+    graph, beepers, listeners = case
+    clean = BeepChannel(graph).deliver(beepers, listeners, Random(seed))
+    lossy = BeepChannel(
+        graph, FaultModel(beep_loss_probability=0.5)
+    ).deliver(beepers, listeners, Random(seed))
+    assert lossy <= clean
+    noisy = BeepChannel(
+        graph, FaultModel(spurious_beep_probability=0.5)
+    ).deliver(beepers, listeners, Random(seed))
+    assert clean <= noisy
+
+
+@given(channel_cases())
+@settings(max_examples=40, deadline=None)
+def test_reliable_or_consistent_with_deliver(case):
+    graph, beepers, listeners = case
+    channel = BeepChannel(graph)
+    heard = channel.deliver(beepers, listeners, Random(2))
+    for v in listeners:
+        assert channel.reliable_or(beepers, v) == (v in heard)

@@ -1,0 +1,51 @@
+"""Unit tests for fault models."""
+
+import pytest
+
+from repro.beeping.faults import NO_FAULTS, CrashSchedule, FaultModel
+
+
+class TestCrashSchedule:
+    def test_empty_by_default(self):
+        schedule = CrashSchedule()
+        assert schedule.is_empty()
+        assert schedule.crashed_at(0) == frozenset()
+
+    def test_from_pairs(self):
+        schedule = CrashSchedule.from_pairs([(0, 3), (0, 5), (2, 1)])
+        assert schedule.crashed_at(0) == frozenset({3, 5})
+        assert schedule.crashed_at(2) == frozenset({1})
+        assert schedule.crashed_at(1) == frozenset()
+        assert not schedule.is_empty()
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(ValueError):
+            CrashSchedule.from_pairs([(-1, 0)])
+
+
+class TestFaultModel:
+    def test_default_is_fault_free(self):
+        assert FaultModel().is_fault_free
+        assert NO_FAULTS.is_fault_free
+
+    def test_loss_makes_faulty(self):
+        assert not FaultModel(beep_loss_probability=0.1).is_fault_free
+
+    def test_spurious_makes_faulty(self):
+        assert not FaultModel(spurious_beep_probability=0.1).is_fault_free
+
+    def test_crashes_make_faulty(self):
+        model = FaultModel(
+            crash_schedule=CrashSchedule.from_pairs([(1, 0)])
+        )
+        assert not model.is_fault_free
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            FaultModel(beep_loss_probability=1.5)
+        with pytest.raises(ValueError):
+            FaultModel(spurious_beep_probability=-0.2)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            NO_FAULTS.beep_loss_probability = 0.5

@@ -1,0 +1,76 @@
+"""Unit and property tests for the seed-derivation discipline."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.beeping.rng import RngStream, derive_seed, spawn_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, 1, 2, 3) == derive_seed(42, 1, 2, 3)
+
+    def test_path_order_matters(self):
+        assert derive_seed(42, 1, 2) != derive_seed(42, 2, 1)
+
+    def test_master_seed_matters(self):
+        assert derive_seed(1, 5) != derive_seed(2, 5)
+
+    def test_empty_path(self):
+        assert derive_seed(7) == derive_seed(7)
+        assert derive_seed(7) != derive_seed(8)
+
+    def test_result_is_64_bit(self):
+        for seed in (0, 1, 2**64 - 1, 123456789):
+            value = derive_seed(seed, 0)
+            assert 0 <= value < 2**64
+
+    def test_negative_indices_allowed(self):
+        assert derive_seed(1, -1) != derive_seed(1, 1)
+
+
+class TestSpawnRng:
+    def test_same_path_same_stream(self):
+        a = spawn_rng(9, 3, 1)
+        b = spawn_rng(9, 3, 1)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_paths_differ(self):
+        a = spawn_rng(9, 0)
+        b = spawn_rng(9, 1)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+class TestRngStream:
+    def test_children_reproducible(self):
+        stream = RngStream(11)
+        assert stream.child(4).random() == RngStream(11).child(4).random()
+
+    def test_child_seed_matches_derive(self):
+        stream = RngStream(11)
+        assert stream.child_seed(2, 3) == derive_seed(11, 2, 3)
+
+    def test_trial_rngs_count(self):
+        stream = RngStream(5)
+        rngs = list(stream.trial_rngs(7))
+        assert len(rngs) == 7
+        values = [r.random() for r in rngs]
+        assert len(set(values)) == 7
+
+    def test_master_seed_masked(self):
+        stream = RngStream(2**70 + 3)
+        assert stream.master_seed == (2**70 + 3) % 2**64
+
+
+@given(
+    st.integers(min_value=0, max_value=2**64 - 1),
+    st.lists(st.integers(min_value=0, max_value=2**32), max_size=4),
+)
+def test_derivation_always_in_range(master, path):
+    assert 0 <= derive_seed(master, *path) < 2**64
+
+
+@given(st.integers(min_value=0, max_value=2**32))
+def test_sibling_seeds_distinct(master):
+    seeds = {derive_seed(master, i) for i in range(64)}
+    assert len(seeds) == 64

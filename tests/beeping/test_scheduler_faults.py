@@ -1,0 +1,132 @@
+"""Scheduler behaviour under injected faults."""
+
+from random import Random
+
+import pytest
+
+from repro.beeping.faults import CrashSchedule, FaultModel
+from repro.beeping.scheduler import BeepingSimulation
+from repro.core.policy import ExponentFeedbackNode
+from repro.graphs.graph import Graph
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.graphs.structured import path_graph, star_graph
+
+
+def feedback_factory(vertex):
+    return ExponentFeedbackNode()
+
+
+class TestNoiseRobustness:
+    @pytest.mark.parametrize("loss", [0.1, 0.3])
+    def test_beep_loss_output_still_mis(self, loss):
+        graph = gnp_random_graph(40, 0.3, Random(11))
+        faults = FaultModel(beep_loss_probability=loss)
+        result = BeepingSimulation(
+            graph, feedback_factory, Random(12), faults=faults
+        ).run()
+        result.verify()
+
+    @pytest.mark.parametrize("spurious", [0.1, 0.3])
+    def test_spurious_beeps_output_still_mis(self, spurious):
+        graph = gnp_random_graph(40, 0.3, Random(13))
+        faults = FaultModel(spurious_beep_probability=spurious)
+        result = BeepingSimulation(
+            graph, feedback_factory, Random(14), faults=faults
+        ).run()
+        result.verify()
+
+    def test_combined_noise(self):
+        graph = gnp_random_graph(40, 0.3, Random(15))
+        faults = FaultModel(
+            beep_loss_probability=0.2, spurious_beep_probability=0.2
+        )
+        result = BeepingSimulation(
+            graph, feedback_factory, Random(16), faults=faults
+        ).run()
+        result.verify()
+
+    def test_noise_slows_but_terminates(self):
+        graph = gnp_random_graph(30, 0.5, Random(17))
+        clean_rounds = []
+        noisy_rounds = []
+        for seed in range(10):
+            clean = BeepingSimulation(
+                graph, feedback_factory, Random(seed)
+            ).run()
+            noisy = BeepingSimulation(
+                graph,
+                feedback_factory,
+                Random(seed),
+                faults=FaultModel(spurious_beep_probability=0.5),
+            ).run()
+            noisy.verify()
+            clean_rounds.append(clean.num_rounds)
+            noisy_rounds.append(noisy.num_rounds)
+        # Spurious beeps suppress probability growth: slower on average.
+        assert sum(noisy_rounds) / 10 > sum(clean_rounds) / 10
+
+
+class TestCrashes:
+    def test_crashed_vertex_never_joins(self):
+        schedule = CrashSchedule.from_pairs([(0, 0)])
+        graph = star_graph(3)
+        result = BeepingSimulation(
+            graph,
+            feedback_factory,
+            Random(19),
+            faults=FaultModel(crash_schedule=schedule),
+        ).run()
+        assert 0 not in result.mis
+        assert 0 in result.crashed
+        result.verify()
+        # With the hub gone, all leaves are independent and must join.
+        assert result.mis == {1, 2, 3}
+
+    def test_crash_midway(self):
+        graph = path_graph(5)
+        schedule = CrashSchedule.from_pairs([(2, 2)])
+        result = BeepingSimulation(
+            graph,
+            feedback_factory,
+            Random(20),
+            faults=FaultModel(crash_schedule=schedule),
+        ).run()
+        result.verify()
+
+    def test_crash_of_already_inactive_vertex_is_noop(self):
+        graph = Graph(2, [(0, 1)])
+        # Crash far in the future; both will be inactive by then.
+        schedule = CrashSchedule.from_pairs([(90_000, 0)])
+        result = BeepingSimulation(
+            graph,
+            feedback_factory,
+            Random(21),
+            faults=FaultModel(crash_schedule=schedule),
+        ).run()
+        assert result.crashed == set()
+        result.verify()
+
+    def test_all_crash_terminates_empty(self):
+        graph = path_graph(3)
+        schedule = CrashSchedule.from_pairs([(0, 0), (0, 1), (0, 2)])
+        result = BeepingSimulation(
+            graph,
+            feedback_factory,
+            Random(22),
+            faults=FaultModel(crash_schedule=schedule),
+        ).run()
+        assert result.mis == set()
+        assert result.crashed == {0, 1, 2}
+        result.verify()
+
+    def test_crash_round_recorded(self):
+        graph = path_graph(4)
+        schedule = CrashSchedule.from_pairs([(0, 1)])
+        sim = BeepingSimulation(
+            graph,
+            feedback_factory,
+            Random(23),
+            faults=FaultModel(crash_schedule=schedule),
+        )
+        record = sim.step()
+        assert record.crashes == 1

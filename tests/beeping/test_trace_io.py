@@ -1,0 +1,79 @@
+"""Tests for trace JSONL serialisation."""
+
+import io
+from random import Random
+
+import pytest
+
+from repro.beeping.events import Trace
+from repro.beeping.scheduler import BeepingSimulation
+from repro.beeping.trace_io import read_trace, write_trace
+from repro.core.policy import ExponentFeedbackNode
+from repro.graphs.random_graphs import gnp_random_graph
+
+
+def traced_run(record_probabilities):
+    graph = gnp_random_graph(25, 0.4, Random(3))
+    trace = Trace(record_probabilities=record_probabilities)
+    BeepingSimulation(
+        graph, lambda v: ExponentFeedbackNode(), Random(4), trace=trace
+    ).run()
+    return graph, trace
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("record_probabilities", [False, True])
+    def test_stream_round_trip(self, record_probabilities):
+        _graph, trace = traced_run(record_probabilities)
+        buffer = io.StringIO()
+        write_trace(trace, buffer)
+        buffer.seek(0)
+        restored = read_trace(buffer)
+        assert restored.num_rounds == trace.num_rounds
+        assert restored.record_probabilities == trace.record_probabilities
+        assert restored.rounds == trace.rounds
+        assert restored.joins == trace.joins
+        assert restored.retirements == trace.retirements
+
+    def test_file_round_trip(self, tmp_path):
+        _graph, trace = traced_run(True)
+        path = tmp_path / "trace.jsonl"
+        write_trace(trace, path)
+        restored = read_trace(path)
+        assert restored.rounds == trace.rounds
+
+    def test_instrumentation_works_on_restored_trace(self):
+        from repro.core.instrumentation import classify_vertex_rounds
+
+        graph, trace = traced_run(True)
+        buffer = io.StringIO()
+        write_trace(trace, buffer)
+        buffer.seek(0)
+        restored = read_trace(buffer)
+        original = classify_vertex_rounds(graph, trace, 0)
+        replayed = classify_vertex_rounds(graph, restored, 0)
+        assert original == replayed
+
+
+class TestErrors:
+    def test_empty_stream(self):
+        with pytest.raises(ValueError, match="missing header"):
+            read_trace(io.StringIO(""))
+
+    def test_bad_version(self):
+        stream = io.StringIO(
+            '{"format_version": 99, "record_probabilities": false, '
+            '"num_rounds": 0, "retirements": []}\n'
+        )
+        with pytest.raises(ValueError, match="version"):
+            read_trace(stream)
+
+    def test_round_count_mismatch(self):
+        stream = io.StringIO(
+            '{"format_version": 1, "record_probabilities": false, '
+            '"num_rounds": 2, "retirements": []}\n'
+            '{"round": 0, "beepers": [], "heard": [], "joined": [], '
+            '"retired": [], "crashed": []}\n'
+        )
+        with pytest.raises(ValueError, match="declares 2 rounds"):
+            read_trace(stream)

@@ -1,0 +1,69 @@
+"""Tests for the stochastic accumulation SOP model."""
+
+from random import Random
+
+import pytest
+
+from repro.bio.stochastic import StochasticSOPModel
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.graphs.structured import complete_graph, empty_graph, hex_lattice_graph
+from repro.graphs.validation import is_maximal_independent_set
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"threshold": 0.0},
+            {"rate_low": 0.0},
+            {"rate_low": 2.0, "rate_high": 1.0},
+            {"rate_change_probability": 1.5},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            StochasticSOPModel(**kwargs)
+
+
+class TestSelection:
+    def test_sops_form_mis(self):
+        model = StochasticSOPModel()
+        for seed in range(5):
+            graph = gnp_random_graph(30, 0.3, Random(seed))
+            result = model.run(graph, Random(seed + 50))
+            assert is_maximal_independent_set(graph, result.sops)
+
+    def test_partition_is_complete(self):
+        graph = hex_lattice_graph(5, 5)
+        result = StochasticSOPModel().run(graph, Random(3))
+        assert result.sops | result.inhibited == set(graph.vertices())
+        assert result.sops & result.inhibited == set()
+
+    def test_complete_graph_single_sop(self):
+        result = StochasticSOPModel().run(complete_graph(10), Random(4))
+        assert len(result.sops) == 1
+
+    def test_isolated_cells_all_sops(self):
+        result = StochasticSOPModel().run(empty_graph(6), Random(5))
+        assert result.sops == set(range(6))
+
+    def test_commit_steps_recorded(self):
+        graph = hex_lattice_graph(4, 4)
+        result = StochasticSOPModel().run(graph, Random(6))
+        assert set(result.commit_step) == result.sops
+        assert all(0 <= s < result.steps for s in result.commit_step.values())
+        assert result.selection_times == sorted(result.selection_times)
+
+    def test_selection_times_vary(self):
+        """The biological signature: SOPs commit at spread-out times."""
+        graph = hex_lattice_graph(6, 6)
+        result = StochasticSOPModel().run(graph, Random(7))
+        times = result.selection_times
+        assert len(set(times)) > 1
+
+    def test_deterministic(self):
+        graph = gnp_random_graph(20, 0.3, Random(8))
+        a = StochasticSOPModel().run(graph, Random(9))
+        b = StochasticSOPModel().run(graph, Random(9))
+        assert a.sops == b.sops
+        assert a.commit_step == b.commit_step

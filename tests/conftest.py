@@ -1,0 +1,69 @@
+"""Shared fixtures for the test-suite.
+
+Small named graphs with known MIS structure, plus seeded RNG factories.
+Everything is deterministic: fixtures take no entropy from the environment.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.graphs.structured import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+
+
+@pytest.fixture
+def rng() -> Random:
+    """A fresh deterministic RNG per test."""
+    return Random(0xC0FFEE)
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K3: any single vertex is an MIS."""
+    return complete_graph(3)
+
+
+@pytest.fixture
+def p4() -> Graph:
+    """The 4-path 0-1-2-3: MISes are {0,2}, {0,3}, {1,3}."""
+    return path_graph(4)
+
+
+@pytest.fixture
+def c5() -> Graph:
+    """The 5-cycle: every MIS has exactly 2 vertices."""
+    return cycle_graph(5)
+
+
+@pytest.fixture
+def star10() -> Graph:
+    """A star with 10 leaves: MIS is the hub alone or all leaves."""
+    return star_graph(10)
+
+
+@pytest.fixture
+def grid4x4() -> Graph:
+    """The 4x4 grid."""
+    return grid_graph(4, 4)
+
+
+@pytest.fixture
+def random50() -> Graph:
+    """A fixed G(50, 0.5) instance."""
+    return gnp_random_graph(50, 0.5, Random(50))
+
+
+@pytest.fixture
+def sparse80() -> Graph:
+    """A fixed sparse G(80, 0.05) instance (has isolated vertices)."""
+    return gnp_random_graph(80, 0.05, Random(80))

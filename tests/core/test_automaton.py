@@ -1,0 +1,127 @@
+"""Unit tests for the Figure 2 node automaton, plus an agreement test
+driving the automaton and the scheduler side by side."""
+
+from random import Random
+
+import pytest
+
+from repro.core.automaton import AutomatonState, NodeAutomaton
+
+
+class TestStates:
+    def test_terminal_flags(self):
+        assert AutomatonState.JOINED.is_terminal
+        assert AutomatonState.NEIGHBOR_IN_MIS.is_terminal
+        assert not AutomatonState.INITIAL.is_terminal
+        assert not AutomatonState.SIGNALLING.is_terminal
+
+
+class TestTransitions:
+    def test_signalling_entered_with_probability_one(self):
+        automaton = NodeAutomaton(initial_probability=0.5)
+        # rng that always returns 0.0 -> always below p.
+        class ZeroRandom(Random):
+            def random(self):
+                return 0.0
+
+        assert automaton.first_exchange_start(ZeroRandom()) is True
+        assert automaton.state is AutomatonState.SIGNALLING
+
+    def test_not_signalling_with_probability_zero_draw(self):
+        automaton = NodeAutomaton()
+
+        class OneRandom(Random):
+            def random(self):
+                return 0.999999
+
+        assert automaton.first_exchange_start(OneRandom()) is False
+        assert automaton.state is AutomatonState.INITIAL
+
+    def test_neighbor_signal_stops_signalling_and_reduces_p(self):
+        automaton = NodeAutomaton()
+        automaton._state = AutomatonState.SIGNALLING
+        automaton.first_exchange_feedback(neighbor_signalling=True)
+        assert automaton.state is AutomatonState.INITIAL
+        assert automaton.probability == 0.25
+
+    def test_silence_increases_p_with_cap(self):
+        automaton = NodeAutomaton()
+        automaton.first_exchange_feedback(neighbor_signalling=True)
+        automaton.first_exchange_feedback(neighbor_signalling=False)
+        assert automaton.probability == 0.5
+        automaton.first_exchange_feedback(neighbor_signalling=False)
+        assert automaton.probability == 0.5
+
+    def test_uncontested_signaller_joins(self):
+        automaton = NodeAutomaton()
+        automaton._state = AutomatonState.SIGNALLING
+        automaton.first_exchange_feedback(neighbor_signalling=False)
+        outcome = automaton.second_exchange(neighbor_joined=False)
+        assert outcome is AutomatonState.JOINED
+        assert not automaton.is_active
+
+    def test_neighbor_join_retires(self):
+        automaton = NodeAutomaton()
+        outcome = automaton.second_exchange(neighbor_joined=True)
+        assert outcome is AutomatonState.NEIGHBOR_IN_MIS
+
+    def test_no_event_stays_active(self):
+        automaton = NodeAutomaton()
+        assert automaton.second_exchange(neighbor_joined=False) is None
+        assert automaton.is_active
+
+    def test_terminal_state_rejects_further_rounds(self):
+        automaton = NodeAutomaton()
+        automaton.second_exchange(neighbor_joined=True)
+        with pytest.raises(RuntimeError):
+            automaton.first_exchange_start(Random(1))
+
+    def test_invalid_initial_probability(self):
+        with pytest.raises(ValueError):
+            NodeAutomaton(initial_probability=0.9)
+
+
+class TestAgreementWithScheduler:
+    """Drive a whole network of automata and compare against the scheduler.
+
+    Both implementations consume randomness differently, so agreement is
+    checked by *simulating the scheduler's beep decisions into the
+    automata*: for each recorded round we feed each automaton the same
+    signals the scheduler saw and assert the final states coincide.
+    """
+
+    def test_replay_agreement(self):
+        from repro.beeping.events import Trace
+        from repro.beeping.node import NodeState
+        from repro.beeping.scheduler import BeepingSimulation
+        from repro.core.policy import ExponentFeedbackNode
+        from repro.graphs.random_graphs import gnp_random_graph
+
+        graph = gnp_random_graph(25, 0.3, Random(77))
+        trace = Trace()
+        result = BeepingSimulation(
+            graph, lambda v: ExponentFeedbackNode(), Random(78), trace=trace
+        ).run()
+
+        automata = [NodeAutomaton() for _ in graph.vertices()]
+        for event in trace.rounds:
+            for v in graph.vertices():
+                if not automata[v].is_active:
+                    continue
+                # Replay the scheduler's beep decision.
+                if v in event.beepers:
+                    automata[v]._state = AutomatonState.SIGNALLING
+                automata[v].first_exchange_feedback(v in event.heard)
+            for v in graph.vertices():
+                if not automata[v].is_active:
+                    continue
+                neighbor_joined = any(
+                    w in event.joined for w in graph.neighbors(v)
+                )
+                automata[v].second_exchange(neighbor_joined)
+
+        for v in graph.vertices():
+            if v in result.mis:
+                assert automata[v].state is AutomatonState.JOINED
+            else:
+                assert automata[v].state is AutomatonState.NEIGHBOR_IN_MIS

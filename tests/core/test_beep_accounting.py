@@ -1,0 +1,91 @@
+"""Tests for the Theorem 6 beep decomposition."""
+
+from random import Random
+
+import pytest
+
+from repro.beeping.events import Trace
+from repro.beeping.scheduler import BeepingSimulation
+from repro.core.beep_accounting import decompose_beeps, mean_decomposition
+from repro.core.policy import ExponentFeedbackNode
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.graphs.structured import complete_graph, empty_graph
+
+
+def traced_run(graph, seed):
+    trace = Trace(record_probabilities=True)
+    result = BeepingSimulation(
+        graph, lambda v: ExponentFeedbackNode(), Random(seed), trace=trace
+    ).run()
+    return trace, result
+
+
+class TestDecomposition:
+    def test_categories_account_for_all_beeps(self):
+        graph = gnp_random_graph(30, 0.5, Random(61))
+        trace, result = traced_run(graph, 62)
+        for v in graph.vertices():
+            decomposition = decompose_beeps(trace, v)
+            assert decomposition.accounted == decomposition.total_beeps
+            assert (
+                decomposition.total_beeps
+                == result.metrics.beeps_by_node[v]
+            )
+
+    def test_isolated_vertex_single_cap_beep(self):
+        # An isolated vertex beeps geometrically at the cap until it joins:
+        # exactly its joining beep, a cap beep.
+        trace, result = traced_run(empty_graph(1), 63)
+        decomposition = decompose_beeps(trace, 0)
+        assert decomposition.total_beeps == 1
+        assert decomposition.cap_beeps == 1
+        assert decomposition.new_low_beeps == 0
+
+    def test_requires_probability_trace(self):
+        graph = complete_graph(3)
+        trace = Trace()
+        BeepingSimulation(
+            graph, lambda v: ExponentFeedbackNode(), Random(64), trace=trace
+        ).run()
+        with pytest.raises(ValueError):
+            decompose_beeps(trace, 0)
+
+    def test_steps_active_bounded_by_rounds(self):
+        graph = gnp_random_graph(20, 0.4, Random(65))
+        trace, result = traced_run(graph, 66)
+        for v in graph.vertices():
+            assert decompose_beeps(trace, v).steps_active <= result.num_rounds
+
+
+class TestTheorem6Bounds:
+    """Empirical checks of the proof's per-category expectations:
+    new-low ≤ 1, cap ≤ 1 (a cap beep terminates the node), and the total
+    under the proof's bound of 8."""
+
+    @pytest.fixture(scope="class")
+    def aggregate(self):
+        totals = {"total": 0.0, "new_low": 0.0, "cap": 0.0, "paired": 0.0}
+        runs = 8
+        for t in range(runs):
+            graph = gnp_random_graph(40, 0.5, Random(700 + t))
+            trace, _result = traced_run(graph, 800 + t)
+            means = mean_decomposition(trace, graph.num_vertices)
+            for key in totals:
+                totals[key] += means[key] / runs
+        return totals
+
+    def test_total_under_proof_bound(self, aggregate):
+        # Proof: E[beeps] < 1 + 1 + 2*3 = 8; measured ~1.1.
+        assert aggregate["total"] < 8.0
+        assert 0.5 < aggregate["total"] < 2.5
+
+    def test_new_low_under_one(self, aggregate):
+        assert aggregate["new_low"] <= 1.0
+
+    def test_cap_beeps_under_one(self, aggregate):
+        # A beep at the cap with no beeping neighbour joins the node, so
+        # per node it happens at most... once per run on average.
+        assert aggregate["cap"] <= 1.0
+
+    def test_paired_beeps_bounded(self, aggregate):
+        assert aggregate["paired"] <= 6.0

@@ -1,0 +1,136 @@
+"""Unit tests for the Section 6 robustness variant factories."""
+
+from random import Random
+
+import pytest
+
+from repro.beeping.scheduler import BeepingSimulation
+from repro.core.variants import (
+    heterogeneous_feedback_factory,
+    jittered_factor_factory,
+    random_initial_probability_factory,
+    uniform_feedback_factory,
+)
+from repro.graphs.random_graphs import gnp_random_graph
+
+
+class TestUniformFactory:
+    def test_default_is_paper_algorithm(self):
+        node = uniform_feedback_factory()(0)
+        assert node.beep_probability() == 0.5
+        node.observe_first_exchange(False, True)
+        assert node.beep_probability() == 0.25
+
+    def test_custom_factors_propagate(self):
+        node = uniform_feedback_factory(decrease_factor=0.25)(0)
+        node.observe_first_exchange(False, True)
+        assert node.beep_probability() == 0.125
+
+
+class TestHeterogeneousFactory:
+    def test_reproducible_per_vertex(self):
+        factory = heterogeneous_feedback_factory(seed=3)
+        a1 = factory(7)
+        a2 = heterogeneous_feedback_factory(seed=3)(7)
+        a1.observe_first_exchange(False, True)
+        a2.observe_first_exchange(False, True)
+        assert a1.beep_probability() == a2.beep_probability()
+
+    def test_vertices_get_varied_factors(self):
+        factory = heterogeneous_feedback_factory(
+            seed=5, decrease_factors=(0.3, 0.7)
+        )
+        probabilities = set()
+        for v in range(40):
+            node = factory(v)
+            node.observe_first_exchange(False, True)
+            probabilities.add(node.beep_probability())
+        assert len(probabilities) == 2  # both menu entries picked
+
+    def test_empty_menu_rejected(self):
+        with pytest.raises(ValueError):
+            heterogeneous_feedback_factory(seed=1, decrease_factors=())
+
+    def test_produces_valid_mis(self):
+        graph = gnp_random_graph(40, 0.4, Random(21))
+        result = BeepingSimulation(
+            graph, heterogeneous_feedback_factory(seed=9), Random(22)
+        ).run()
+        result.verify()
+
+
+class TestRandomInitialProbability:
+    def test_initial_in_range(self):
+        factory = random_initial_probability_factory(seed=2, low=0.1, high=0.4)
+        for v in range(30):
+            assert 0.1 <= factory(v).beep_probability() <= 0.4
+
+    def test_bounded_away_from_zero_enforced(self):
+        with pytest.raises(ValueError):
+            random_initial_probability_factory(seed=1, low=0.0)
+
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            random_initial_probability_factory(seed=1, low=0.4, high=0.2)
+
+    def test_produces_valid_mis(self):
+        graph = gnp_random_graph(40, 0.4, Random(23))
+        result = BeepingSimulation(
+            graph, random_initial_probability_factory(seed=10), Random(24)
+        ).run()
+        result.verify()
+
+
+class TestJitteredFactors:
+    def test_factors_change_over_time(self):
+        factory = jittered_factor_factory(seed=4)
+        node = factory(0)
+        values = []
+        for _ in range(6):
+            node.observe_first_exchange(False, True)
+            values.append(node.beep_probability())
+        ratios = {round(b / a, 6) for a, b in zip(values, values[1:])}
+        assert len(ratios) > 1  # the decrease factor is being re-drawn
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            jittered_factor_factory(seed=1, decrease_range=(0.0, 0.5))
+        with pytest.raises(ValueError):
+            jittered_factor_factory(seed=1, increase_range=(0.9, 2.0))
+
+    def test_produces_valid_mis(self):
+        graph = gnp_random_graph(40, 0.4, Random(25))
+        result = BeepingSimulation(
+            graph, jittered_factor_factory(seed=11), Random(26)
+        ).run()
+        result.verify()
+
+
+class TestRobustnessClaim:
+    """The Section 6 claim: variants stay within a small factor of the
+    baseline round count."""
+
+    def test_variants_comparable_to_baseline(self):
+        graph = gnp_random_graph(60, 0.5, Random(31))
+        trials = 10
+
+        def mean_rounds(factory_builder):
+            total = 0
+            for t in range(trials):
+                result = BeepingSimulation(
+                    graph, factory_builder(t), Random(1000 + t)
+                ).run()
+                result.verify()
+                total += result.num_rounds
+            return total / trials
+
+        baseline = mean_rounds(lambda t: uniform_feedback_factory())
+        heterogeneous = mean_rounds(
+            lambda t: heterogeneous_feedback_factory(seed=t)
+        )
+        jittered = mean_rounds(lambda t: jittered_factor_factory(seed=t))
+        varied_start = mean_rounds(
+            lambda t: random_initial_probability_factory(seed=t)
+        )
+        for variant in (heterogeneous, jittered, varied_start):
+            assert variant < 4.0 * baseline

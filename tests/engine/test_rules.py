@@ -1,0 +1,92 @@
+"""Unit tests for the vectorised probability rules."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.afek_global import global_schedule
+from repro.algorithms.afek_sweep import sweep_probability
+from repro.engine.rules import FeedbackRule, GlobalScheduleRule, SweepRule
+
+
+class TestFeedbackRule:
+    def test_initial_vector(self):
+        rule = FeedbackRule()
+        p = rule.initial(4)
+        assert p.shape == (4,)
+        assert (p == 0.5).all()
+
+    def test_update_matches_scalar_policy(self):
+        from repro.core.policy import FeedbackNode
+
+        rule = FeedbackRule()
+        p = rule.initial(2)
+        heard = np.array([True, False])
+        active = np.array([True, True])
+        updated = rule.update(p, heard, active, 0)
+
+        node_heard = FeedbackNode()
+        node_heard.observe_first_exchange(False, True)
+        node_silent = FeedbackNode()
+        node_silent.observe_first_exchange(False, False)
+        assert updated[0] == node_heard.beep_probability()
+        assert updated[1] == node_silent.beep_probability()
+
+    def test_cap(self):
+        rule = FeedbackRule()
+        p = np.array([0.5, 0.4])
+        updated = rule.update(
+            p, np.array([False, False]), np.array([True, True]), 0
+        )
+        assert updated[0] == 0.5
+        assert updated[1] == 0.5
+
+    def test_custom_parameters(self):
+        rule = FeedbackRule(
+            initial_probability=0.25, decrease_factor=0.4, increase_factor=1.5
+        )
+        p = rule.initial(1)
+        assert p[0] == 0.25
+        down = rule.update(p, np.array([True]), np.array([True]), 0)
+        assert down[0] == pytest.approx(0.1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"decrease_factor": 1.0},
+            {"increase_factor": 1.0},
+            {"initial_probability": 0.0},
+            {"max_probability": 1.5},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            FeedbackRule(**kwargs)
+
+    def test_name(self):
+        assert FeedbackRule().name == "feedback"
+
+
+class TestSweepRule:
+    def test_matches_schedule(self):
+        rule = SweepRule()
+        p = rule.initial(3)
+        assert (p == sweep_probability(0)).all()
+        for t in range(10):
+            p = rule.update(p, np.zeros(3, bool), np.ones(3, bool), t)
+            assert (p == sweep_probability(t + 1)).all()
+
+    def test_name(self):
+        assert SweepRule().name == "afek-sweep"
+
+
+class TestGlobalScheduleRule:
+    def test_matches_schedule(self):
+        rule = GlobalScheduleRule(num_vertices=64, max_degree=16)
+        p = rule.initial(5)
+        assert (p == global_schedule(0, 64, 16)).all()
+        for t in range(30):
+            p = rule.update(p, np.zeros(5, bool), np.ones(5, bool), t)
+            assert (p == global_schedule(t + 1, 64, 16)).all()
+
+    def test_name(self):
+        assert GlobalScheduleRule(10, 3).name == "afek-global"

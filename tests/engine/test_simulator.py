@@ -1,0 +1,119 @@
+"""Unit tests for the vectorised simulator."""
+
+from random import Random
+
+import numpy as np
+import pytest
+
+from repro.engine.rules import FeedbackRule, SweepRule
+from repro.engine.simulator import VectorizedSimulator
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.graphs.structured import (
+    complete_graph,
+    empty_graph,
+    grid_graph,
+    star_graph,
+)
+from repro.graphs.validation import verify_mis
+
+
+class TestBasics:
+    def test_empty_graph(self):
+        simulator = VectorizedSimulator(empty_graph(0))
+        run = simulator.run(FeedbackRule(), seed=1)
+        assert run.rounds == 0
+        assert run.mis == set()
+
+    def test_isolated_vertices_join_first_possible(self):
+        simulator = VectorizedSimulator(empty_graph(6))
+        run = simulator.run(FeedbackRule(), seed=2, validate=True)
+        assert run.mis == set(range(6))
+
+    def test_complete_graph_single_winner(self):
+        simulator = VectorizedSimulator(complete_graph(12))
+        run = simulator.run(FeedbackRule(), seed=3, validate=True)
+        assert len(run.mis) == 1
+
+    def test_validate_flag(self, random50):
+        simulator = VectorizedSimulator(random50)
+        run = simulator.run(FeedbackRule(), seed=4, validate=True)
+        verify_mis(random50, run.mis)
+
+    def test_deterministic_given_seed(self, random50):
+        simulator = VectorizedSimulator(random50)
+        a = simulator.run(FeedbackRule(), seed=5)
+        b = simulator.run(FeedbackRule(), seed=5)
+        assert a.mis == b.mis
+        assert a.rounds == b.rounds
+        assert (a.beeps_by_node == b.beeps_by_node).all()
+
+    def test_different_seeds_differ(self, random50):
+        simulator = VectorizedSimulator(random50)
+        a = simulator.run(FeedbackRule(), seed=6)
+        b = simulator.run(FeedbackRule(), seed=7)
+        assert a.mis != b.mis or a.rounds != b.rounds
+
+    def test_max_rounds_guard(self):
+        simulator = VectorizedSimulator(complete_graph(3), max_rounds=1)
+        # A K_3 usually needs more than one round.
+        with pytest.raises(RuntimeError):
+            for seed in range(20):
+                simulator.run(SweepRule(), seed=seed)
+
+    def test_max_rounds_validation(self):
+        with pytest.raises(ValueError):
+            VectorizedSimulator(empty_graph(1), max_rounds=0)
+
+    def test_simulator_reusable(self, random50):
+        simulator = VectorizedSimulator(random50)
+        for seed in range(5):
+            run = simulator.run(FeedbackRule(), seed=seed, validate=True)
+            assert run.rounds >= 1
+
+
+class TestMetrics:
+    def test_beep_counts_plausible(self, random50):
+        simulator = VectorizedSimulator(random50)
+        run = simulator.run(FeedbackRule(), seed=8)
+        assert run.beeps_by_node.shape == (50,)
+        assert (run.beeps_by_node >= 0).all()
+        assert run.mean_beeps_per_node == pytest.approx(
+            float(run.beeps_by_node.sum()) / 50
+        )
+
+    def test_mean_beeps_empty(self):
+        simulator = VectorizedSimulator(empty_graph(0))
+        run = simulator.run(FeedbackRule(), seed=1)
+        assert run.mean_beeps_per_node == 0.0
+
+    def test_rule_name_recorded(self, random50):
+        simulator = VectorizedSimulator(random50)
+        assert simulator.run(FeedbackRule(), 1).rule_name == "feedback"
+        assert simulator.run(SweepRule(), 1).rule_name == "afek-sweep"
+
+
+class TestLargeGraphOverflowRegression:
+    def test_many_beeping_neighbors(self):
+        """More than 255 beeping neighbours must still register as heard
+        (uint8 matmul would overflow and could wrap to 0)."""
+        graph = star_graph(300)
+        simulator = VectorizedSimulator(graph)
+        run = simulator.run(SweepRule(), seed=11, validate=True)
+        # Round 0 of the sweep has p=1: all 301 vertices beep, everyone
+        # hears, nobody joins.  If overflow dropped the observation the hub
+        # would wrongly join alongside a leaf and validation would fail.
+        assert run.rounds >= 2
+
+
+@pytest.mark.parametrize("rule_factory", [FeedbackRule, SweepRule])
+@pytest.mark.parametrize("seed", range(4))
+def test_output_always_mis(rule_factory, seed):
+    graph = gnp_random_graph(40, 0.3, Random(seed))
+    simulator = VectorizedSimulator(graph)
+    simulator.run(rule_factory(), seed=seed + 50, validate=True)
+
+
+def test_grid_graph_feedback():
+    simulator = VectorizedSimulator(grid_graph(9, 9))
+    run = simulator.run(FeedbackRule(), seed=13, validate=True)
+    assert run.rounds >= 1

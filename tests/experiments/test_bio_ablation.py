@@ -1,0 +1,36 @@
+"""Tests for the Notch–Delta inhibition-strength ablation."""
+
+import pytest
+
+from repro.experiments.bio_ablation import inhibition_strength_ablation
+
+
+class TestInhibitionAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return inhibition_strength_ablation(
+            strengths=(5.0, 100.0),
+            rows=6,
+            cols=6,
+            trials=2,
+            t_end=80.0,
+            master_seed=7,
+        )
+
+    def test_one_point_per_strength(self, result):
+        assert [p.x for p in result.points] == [5.0, 100.0]
+
+    def test_strong_inhibition_forms_mis_pattern(self, result):
+        strong = result.points[-1]
+        assert strong.extra["mis_fraction"] == 1.0
+        assert strong.mean > 0.5  # clean bimodal separation
+
+    def test_weak_inhibition_fails(self, result):
+        weak = result.points[0]
+        assert weak.extra["mis_fraction"] == 0.0
+        assert weak.mean < 0.1
+
+    def test_threshold_direction(self, result):
+        """Pattern quality increases with inhibition strength."""
+        separations = [p.mean for p in result.points]
+        assert separations == sorted(separations)

@@ -1,0 +1,62 @@
+"""Tests for round-count distributions."""
+
+import pytest
+
+from repro.experiments.distributions import (
+    RoundDistribution,
+    round_distributions,
+)
+
+
+class TestRoundDistribution:
+    def test_quantiles(self):
+        d = RoundDistribution("x", rounds=[10, 20, 30, 40, 50])
+        assert d.quantile(0.0) == 10
+        assert d.quantile(1.0) == 50
+        assert d.median == 30
+        assert d.quantile(0.25) == 20
+
+    def test_interpolation(self):
+        d = RoundDistribution("x", rounds=[10, 20])
+        assert d.median == 15.0
+
+    def test_singleton(self):
+        d = RoundDistribution("x", rounds=[7])
+        assert d.median == 7.0
+        assert d.p95 == 7.0
+
+    def test_quantile_bounds(self):
+        d = RoundDistribution("x", rounds=[1, 2])
+        with pytest.raises(ValueError):
+            d.quantile(1.5)
+
+    def test_histogram_renders(self):
+        d = RoundDistribution("demo", rounds=[1, 2, 2, 3, 3, 3])
+        text = d.histogram(bins=3)
+        assert "demo histogram" in text
+
+
+class TestCollection:
+    @pytest.fixture(scope="class")
+    def distributions(self):
+        return round_distributions(
+            algorithm_names=("feedback", "afek-sweep"),
+            n=40,
+            trials=25,
+            master_seed=3,
+        )
+
+    def test_all_algorithms_collected(self, distributions):
+        assert set(distributions) == {"feedback", "afek-sweep"}
+        for d in distributions.values():
+            assert len(d.rounds) == 25
+
+    def test_feedback_stochastically_faster(self, distributions):
+        feedback = distributions["feedback"]
+        sweep = distributions["afek-sweep"]
+        assert feedback.median < sweep.median
+        assert feedback.p95 < sweep.p95
+
+    def test_trials_validation(self):
+        with pytest.raises(ValueError):
+            round_distributions(trials=0)

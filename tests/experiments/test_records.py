@@ -1,0 +1,71 @@
+"""Tests for experiment result records and serialisation."""
+
+import json
+
+import pytest
+
+from repro.experiments.records import (
+    ExperimentResult,
+    SeriesPoint,
+    results_from_json,
+    results_to_csv,
+    results_to_json,
+)
+
+
+def sample_result():
+    points = [
+        SeriesPoint("feedback", 100.0, 15.2, 2.1, 50),
+        SeriesPoint("feedback", 200.0, 18.0, 2.4, 50),
+        SeriesPoint("afek-sweep", 100.0, 44.0, 6.0, 50, extra={"note": 1.0}),
+        SeriesPoint("afek-sweep", 200.0, 58.5, 7.1, 50),
+    ]
+    return ExperimentResult(
+        experiment="demo", points=points, master_seed=9, parameters={"p": 0.5}
+    )
+
+
+class TestExperimentResult:
+    def test_series_names_in_order(self):
+        assert sample_result().series_names() == ["feedback", "afek-sweep"]
+
+    def test_series_sorted_by_x(self):
+        result = sample_result()
+        xs = [p.x for p in result.series("feedback")]
+        assert xs == sorted(xs)
+
+    def test_xs_and_means(self):
+        result = sample_result()
+        assert result.xs("afek-sweep") == [100.0, 200.0]
+        assert result.means("afek-sweep") == [44.0, 58.5]
+
+    def test_unknown_series_empty(self):
+        assert sample_result().series("nope") == []
+
+
+class TestJson:
+    def test_round_trip(self):
+        result = sample_result()
+        restored = results_from_json(results_to_json(result))
+        assert restored.experiment == result.experiment
+        assert restored.master_seed == result.master_seed
+        assert restored.parameters == result.parameters
+        assert restored.points == result.points
+
+    def test_json_is_valid(self):
+        payload = json.loads(results_to_json(sample_result()))
+        assert payload["experiment"] == "demo"
+        assert len(payload["points"]) == 4
+
+    def test_extra_preserved(self):
+        restored = results_from_json(results_to_json(sample_result()))
+        assert restored.points[2].extra == {"note": 1.0}
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        csv_text = results_to_csv(sample_result())
+        lines = csv_text.strip().split("\n")
+        assert lines[0] == "series,x,mean,std,trials"
+        assert len(lines) == 5
+        assert lines[1].startswith("feedback,100.0,15.2")

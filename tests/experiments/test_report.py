@@ -1,0 +1,36 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.experiments.report import build_report, build_sections
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def sections(self):
+        return build_sections(trials=4, master_seed=11)
+
+    def test_five_sections(self, sections):
+        titles = [s.title for s in sections]
+        assert len(titles) == 5
+        assert any("Figure 3" in t for t in titles)
+        assert any("Theorem 1" in t for t in titles)
+
+    def test_all_sections_pass(self, sections):
+        """The reproduction's claims must hold even at 4 trials."""
+        for section in sections:
+            assert section.passed, section.title
+
+    def test_bodies_nonempty(self, sections):
+        for section in sections:
+            assert section.body.strip()
+
+    def test_full_report_renders(self):
+        text = build_report(trials=4, master_seed=11)
+        assert "verdicts:" in text
+        assert "[PASS]" in text
+        assert "[FAIL]" not in text
+
+    def test_trials_validation(self):
+        with pytest.raises(ValueError):
+            build_sections(trials=1)

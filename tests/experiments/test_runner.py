@@ -1,0 +1,57 @@
+"""Tests for the generic trial runner."""
+
+import pytest
+
+from repro.algorithms.feedback import FeedbackMIS
+from repro.algorithms.greedy import SequentialGreedyMIS
+from repro.beeping.faults import FaultModel
+from repro.experiments.runner import run_trials
+from repro.graphs.random_graphs import gnp_random_graph
+
+
+def graph_factory(rng):
+    return gnp_random_graph(25, 0.4, rng)
+
+
+class TestRunTrials:
+    def test_outcome_count_and_fields(self):
+        outcomes = run_trials(FeedbackMIS, graph_factory, 5, master_seed=1)
+        assert len(outcomes) == 5
+        for index, outcome in enumerate(outcomes):
+            assert outcome.trial == index
+            assert outcome.rounds >= 1
+            assert outcome.mis_size >= 1
+            assert outcome.mean_beeps_per_node >= 0.0
+
+    def test_reproducible(self):
+        a = run_trials(FeedbackMIS, graph_factory, 4, master_seed=2)
+        b = run_trials(FeedbackMIS, graph_factory, 4, master_seed=2)
+        assert a == b
+
+    def test_seed_changes_outcomes(self):
+        a = run_trials(FeedbackMIS, graph_factory, 4, master_seed=3)
+        b = run_trials(FeedbackMIS, graph_factory, 4, master_seed=4)
+        assert a != b
+
+    def test_graphs_vary_between_trials(self):
+        outcomes = run_trials(FeedbackMIS, graph_factory, 6, master_seed=5)
+        # Different graphs -> almost surely different MIS sizes/rounds mix.
+        assert len({(o.rounds, o.mis_size) for o in outcomes}) > 1
+
+    def test_faults_passed_through(self):
+        faults = FaultModel(spurious_beep_probability=0.3)
+        outcomes = run_trials(
+            FeedbackMIS, graph_factory, 3, master_seed=6, faults=faults
+        )
+        assert len(outcomes) == 3
+
+    def test_non_beeping_algorithm(self):
+        outcomes = run_trials(
+            SequentialGreedyMIS, graph_factory, 3, master_seed=7
+        )
+        assert all(o.rounds == 1 for o in outcomes)
+        assert all(o.mean_beeps_per_node == 0.0 for o in outcomes)
+
+    def test_trials_validation(self):
+        with pytest.raises(ValueError):
+            run_trials(FeedbackMIS, graph_factory, 0, master_seed=8)

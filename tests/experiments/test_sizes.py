@@ -1,0 +1,48 @@
+"""Tests for the MIS-size experiment."""
+
+import pytest
+
+from repro.experiments.sizes import mis_size_experiment
+
+
+class TestMisSizeExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return mis_size_experiment(n=24, trials=6, master_seed=5)
+
+    def test_one_point_per_algorithm_plus_optimum(self, result):
+        names = result.series_names()
+        assert "feedback" in names
+        assert "optimum" in names
+        assert len(result.points) == 5
+
+    def test_optimum_dominates(self, result):
+        optimum = next(p for p in result.points if p.series == "optimum")
+        for point in result.points:
+            assert point.mean <= optimum.mean + 1e-9
+
+    def test_ratios_in_unit_interval(self, result):
+        for point in result.points:
+            ratio = point.extra.get("optimum_ratio")
+            assert ratio is not None
+            assert 0.0 < ratio <= 1.0
+
+    def test_ratios_reasonably_high(self, result):
+        """Any MIS on G(n, 0.3) lands within a constant of the optimum."""
+        for point in result.points:
+            assert point.extra["optimum_ratio"] > 0.5
+
+    def test_optimum_guard(self):
+        with pytest.raises(ValueError, match="exact optimum"):
+            mis_size_experiment(n=100, trials=2, include_optimum=True)
+
+    def test_large_n_skips_optimum(self):
+        result = mis_size_experiment(
+            n=80,
+            trials=2,
+            algorithm_names=("greedy",),
+            master_seed=6,
+        )
+        assert result.parameters["include_optimum"] is False
+        assert result.series_names() == ["greedy"]
+        assert result.points[0].extra == {}

@@ -1,0 +1,54 @@
+"""Tests for the workload registry."""
+
+from random import Random
+
+import pytest
+
+from repro.experiments.workloads import available_workloads, make_workload
+
+
+class TestRegistry:
+    def test_names_sorted_and_nonempty(self):
+        names = available_workloads()
+        assert names == sorted(names)
+        assert "gnp-half" in names
+        assert "theorem1" in names
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="available"):
+            make_workload("bogus", 10, Random(1))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            make_workload("gnp-half", 0, Random(1))
+
+
+class TestInstantiation:
+    @pytest.mark.parametrize("name", available_workloads())
+    def test_every_workload_builds(self, name):
+        graph = make_workload(name, 50, Random(7))
+        assert graph.num_vertices >= 1
+        # Size is approximate for structured families, but in the ballpark.
+        assert graph.num_vertices <= 200
+
+    @pytest.mark.parametrize("name", available_workloads())
+    def test_every_workload_supports_mis(self, name):
+        from repro.algorithms.feedback import FeedbackMIS
+
+        graph = make_workload(name, 40, Random(8))
+        FeedbackMIS().run(graph, Random(9)).verify()
+
+    def test_grid_is_square(self):
+        graph = make_workload("grid", 49, Random(1))
+        assert graph.num_vertices == 49
+
+    def test_deterministic_given_rng(self):
+        a = make_workload("gnp-half", 30, Random(5))
+        b = make_workload("gnp-half", 30, Random(5))
+        assert a == b
+
+    def test_sparse_mean_degree(self):
+        from repro.graphs.metrics import mean_degree
+
+        graph = make_workload("gnp-sparse", 200, Random(6))
+        assert 4.0 < mean_degree(graph) < 12.0

@@ -1,0 +1,253 @@
+"""Unit tests for the core Graph type."""
+
+import pytest
+
+from repro.graphs.graph import Graph, GraphBuilder
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(0)
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_isolated_vertices(self):
+        g = Graph(5)
+        assert g.num_vertices == 5
+        assert all(g.degree(v) == 0 for v in g.vertices())
+
+    def test_basic_edges(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert g.num_edges == 2
+        assert g.neighbors(1) == (0, 2)
+        assert g.neighbors(0) == (1,)
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Graph(2, [(1, 1)])
+
+    def test_out_of_range_vertex_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Graph(2, [(0, 2)])
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Graph(2, [(-1, 0)])
+
+    def test_negative_num_vertices_rejected(self):
+        with pytest.raises(ValueError, match="num_vertices"):
+            Graph(-1)
+
+    def test_non_int_vertex_rejected(self):
+        with pytest.raises(TypeError):
+            Graph(3, [(0, "1")])
+
+    def test_bool_vertex_rejected(self):
+        with pytest.raises(TypeError):
+            Graph(3, [(0, True)])
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self):
+        g = Graph(4, [(3, 0), (2, 0), (1, 0)])
+        assert g.neighbors(0) == (1, 2, 3)
+
+    def test_neighbor_set_membership(self):
+        g = Graph(3, [(0, 1)])
+        assert 1 in g.neighbor_set(0)
+        assert 2 not in g.neighbor_set(0)
+
+    def test_degrees(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degrees() == (3, 1, 1, 1)
+        assert g.max_degree() == 3
+        assert g.min_degree() == 1
+
+    def test_degree_extremes_on_empty(self):
+        g = Graph(0)
+        assert g.max_degree() == 0
+        assert g.min_degree() == 0
+
+    def test_has_edge_symmetric(self):
+        g = Graph(3, [(0, 2)])
+        assert g.has_edge(0, 2)
+        assert g.has_edge(2, 0)
+        assert not g.has_edge(0, 1)
+
+    def test_has_edge_rejects_bad_vertex(self):
+        g = Graph(3)
+        with pytest.raises(ValueError):
+            g.has_edge(0, 5)
+
+    def test_edges_canonical_order(self):
+        g = Graph(4, [(3, 2), (1, 0), (2, 0)])
+        assert list(g.edges()) == [(0, 1), (0, 2), (2, 3)]
+
+    def test_density(self):
+        assert Graph(2, [(0, 1)]).density() == 1.0
+        assert Graph(1).density() == 0.0
+        assert Graph(4, [(0, 1), (2, 3)]).density() == pytest.approx(2 / 6)
+
+    def test_len_and_contains(self):
+        g = Graph(3)
+        assert len(g) == 3
+        assert 2 in g
+        assert 3 not in g
+        assert "a" not in g
+
+    def test_repr(self):
+        assert repr(Graph(3, [(0, 1)])) == "Graph(num_vertices=3, num_edges=1)"
+
+
+class TestDerivedGraphs:
+    def test_subgraph_relabels(self):
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        sub = g.subgraph([1, 2, 3])
+        assert sub.num_vertices == 3
+        assert list(sub.edges()) == [(0, 1), (1, 2)]
+
+    def test_subgraph_respects_order(self):
+        g = Graph(3, [(0, 1)])
+        sub = g.subgraph([1, 0])
+        assert list(sub.edges()) == [(0, 1)]
+        assert sub.num_vertices == 2
+
+    def test_subgraph_duplicate_rejected(self):
+        g = Graph(3)
+        with pytest.raises(ValueError, match="duplicate"):
+            g.subgraph([0, 0])
+
+    def test_complement(self):
+        g = Graph(3, [(0, 1)])
+        comp = g.complement()
+        assert sorted(comp.edges()) == [(0, 2), (1, 2)]
+
+    def test_complement_involution(self):
+        g = Graph(5, [(0, 1), (2, 3), (1, 4)])
+        assert g.complement().complement() == g
+
+    def test_disjoint_union(self):
+        a = Graph(2, [(0, 1)])
+        b = Graph(3, [(0, 2)])
+        u = a.disjoint_union(b)
+        assert u.num_vertices == 5
+        assert sorted(u.edges()) == [(0, 1), (2, 4)]
+
+    def test_relabel(self):
+        g = Graph(3, [(0, 1)])
+        h = g.relabel([2, 0, 1])
+        assert list(h.edges()) == [(0, 2)]
+
+    def test_relabel_rejects_non_permutation(self):
+        g = Graph(3)
+        with pytest.raises(ValueError, match="bijection"):
+            g.relabel([0, 0, 1])
+
+
+class TestConnectivity:
+    def test_connected_path(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.is_connected()
+        assert g.connected_components() == [[0, 1, 2, 3]]
+
+    def test_disconnected_components(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        components = g.connected_components()
+        assert [0, 1] in components
+        assert [2, 3] in components
+        assert [4] in components
+        assert not g.is_connected()
+
+    def test_empty_graph_connected(self):
+        assert Graph(0).is_connected()
+
+    def test_single_vertex_connected(self):
+        assert Graph(1).is_connected()
+
+
+class TestMatrixView:
+    def test_adjacency_matrix(self):
+        import numpy as np
+
+        g = Graph(3, [(0, 2)])
+        m = g.adjacency_matrix()
+        expected = np.zeros((3, 3), dtype=bool)
+        expected[0, 2] = expected[2, 0] = True
+        assert (m == expected).all()
+
+    def test_adjacency_matrix_symmetric_no_diagonal(self):
+        from random import Random
+
+        from repro.graphs.random_graphs import gnp_random_graph
+
+        g = gnp_random_graph(20, 0.3, Random(1))
+        m = g.adjacency_matrix()
+        assert (m == m.T).all()
+        assert not m.diagonal().any()
+
+
+class TestEqualityAndHash:
+    def test_equal_graphs(self):
+        assert Graph(3, [(0, 1)]) == Graph(3, [(1, 0)])
+
+    def test_unequal_graphs(self):
+        assert Graph(3, [(0, 1)]) != Graph(3, [(0, 2)])
+        assert Graph(3) != Graph(4)
+
+    def test_hashable(self):
+        s = {Graph(2, [(0, 1)]), Graph(2, [(1, 0)])}
+        assert len(s) == 1
+
+    def test_eq_other_type(self):
+        assert Graph(1).__eq__(42) is NotImplemented
+
+
+class TestGraphBuilder:
+    def test_incremental_build(self):
+        b = GraphBuilder()
+        u, v, w = b.add_vertices(3)
+        b.add_edge(u, v)
+        b.add_edge(v, w)
+        g = b.build()
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_add_edge_idempotent(self):
+        b = GraphBuilder(2)
+        b.add_edge(0, 1)
+        b.add_edge(1, 0)
+        assert b.build().num_edges == 1
+
+    def test_add_clique(self):
+        b = GraphBuilder(4)
+        b.add_clique([0, 1, 2, 3])
+        assert b.build().num_edges == 6
+
+    def test_add_path(self):
+        b = GraphBuilder(4)
+        b.add_path([0, 1, 2, 3])
+        assert list(b.build().edges()) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_rejects_unknown_vertex(self):
+        b = GraphBuilder(1)
+        with pytest.raises(ValueError, match="has not been added"):
+            b.add_edge(0, 1)
+
+    def test_rejects_self_loop(self):
+        b = GraphBuilder(2)
+        with pytest.raises(ValueError, match="self-loop"):
+            b.add_edge(1, 1)
+
+    def test_rejects_negative_count(self):
+        b = GraphBuilder()
+        with pytest.raises(ValueError):
+            b.add_vertices(-1)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            GraphBuilder(-2)

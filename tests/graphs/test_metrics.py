@@ -1,0 +1,111 @@
+"""Tests for graph metrics."""
+
+from random import Random
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.metrics import (
+    average_clustering,
+    bfs_distances,
+    degree_histogram,
+    diameter,
+    eccentricity,
+    local_clustering,
+    mean_degree,
+    workload_summary,
+)
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.graphs.structured import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    star_graph,
+    torus_grid_graph,
+)
+
+
+class TestDegreeStats:
+    def test_histogram(self):
+        assert degree_histogram(star_graph(4)) == [0, 4, 0, 0, 1]
+
+    def test_histogram_regular(self):
+        assert degree_histogram(cycle_graph(5)) == [0, 0, 5]
+
+    def test_mean_degree(self):
+        assert mean_degree(complete_graph(5)) == 4.0
+        assert mean_degree(empty_graph(0)) == 0.0
+        assert mean_degree(path_graph(3)) == pytest.approx(4 / 3)
+
+
+class TestClustering:
+    def test_clique_is_fully_clustered(self):
+        assert average_clustering(complete_graph(6)) == 1.0
+
+    def test_tree_has_zero_clustering(self):
+        assert average_clustering(star_graph(6)) == 0.0
+        assert average_clustering(path_graph(6)) == 0.0
+
+    def test_torus_no_triangles(self):
+        assert average_clustering(torus_grid_graph(4, 4)) == 0.0
+
+    def test_local_values(self):
+        # Triangle plus pendant: vertex 0 in triangle with pendant 3.
+        g = Graph(4, [(0, 1), (1, 2), (0, 2), (0, 3)])
+        assert local_clustering(g, 1) == 1.0
+        assert local_clustering(g, 0) == pytest.approx(1 / 3)
+        assert local_clustering(g, 3) == 0.0
+
+    def test_empty_graph(self):
+        assert average_clustering(empty_graph(0)) == 0.0
+
+
+class TestDistances:
+    def test_bfs_path(self):
+        assert bfs_distances(path_graph(4), 0) == [0, 1, 2, 3]
+
+    def test_bfs_unreachable(self):
+        g = Graph(3, [(0, 1)])
+        assert bfs_distances(g, 0) == [0, 1, None]
+
+    def test_eccentricity(self):
+        assert eccentricity(path_graph(5), 0) == 4
+        assert eccentricity(path_graph(5), 2) == 2
+
+    def test_eccentricity_disconnected(self):
+        g = Graph(3, [(0, 1)])
+        assert eccentricity(g, 0) is None
+
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (path_graph(5), 4),
+            (cycle_graph(8), 4),
+            (complete_graph(6), 1),
+            (hypercube_graph(4), 4),
+            (grid_graph(3, 4), 5),
+        ],
+    )
+    def test_diameter_known(self, graph, expected):
+        assert diameter(graph) == expected
+
+    def test_diameter_disconnected(self):
+        assert diameter(Graph(3, [(0, 1)])) is None
+        assert diameter(empty_graph(0)) is None
+
+    def test_diameter_single_vertex(self):
+        assert diameter(Graph(1)) == 0
+
+
+class TestWorkloadSummary:
+    def test_fields(self):
+        graph = gnp_random_graph(20, 0.4, Random(1))
+        summary = workload_summary(graph)
+        assert summary["vertices"] == 20.0
+        assert summary["edges"] == float(graph.num_edges)
+        assert 0.0 <= summary["density"] <= 1.0
+        assert summary["max_degree"] >= summary["mean_degree"]
+        assert summary["components"] >= 1.0

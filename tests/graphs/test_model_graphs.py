@@ -1,0 +1,92 @@
+"""Tests for the network-model generators (Barabási–Albert, Watts–Strogatz)."""
+
+from random import Random
+
+import pytest
+
+from repro.graphs.metrics import average_clustering, degree_histogram
+from repro.graphs.random_graphs import (
+    barabasi_albert_graph,
+    watts_strogatz_graph,
+)
+
+
+class TestBarabasiAlbert:
+    def test_counts(self):
+        g = barabasi_albert_graph(50, 3, Random(1))
+        assert g.num_vertices == 50
+        # Seed star has 3 edges; each of the 46 later vertices adds 3.
+        assert g.num_edges == 3 + 46 * 3
+
+    def test_connected(self):
+        g = barabasi_albert_graph(60, 2, Random(2))
+        assert g.is_connected()
+
+    def test_heavy_tail(self):
+        g = barabasi_albert_graph(300, 2, Random(3))
+        histogram = degree_histogram(g)
+        # Hubs exist: some vertex has degree far above the attachment count.
+        assert g.max_degree() > 12
+        # But most vertices have small degree.
+        small = sum(histogram[: 6])
+        assert small > 0.6 * g.num_vertices
+
+    def test_determinism(self):
+        a = barabasi_albert_graph(40, 2, Random(4))
+        b = barabasi_albert_graph(40, 2, Random(4))
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(5, 0, Random(1))
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(2, 3, Random(1))
+
+    def test_mis_algorithms_work(self):
+        from repro.algorithms.feedback import FeedbackMIS
+
+        g = barabasi_albert_graph(80, 3, Random(5))
+        FeedbackMIS().run(g, Random(6)).verify()
+
+
+class TestWattsStrogatz:
+    def test_zero_rewiring_is_ring_lattice(self):
+        g = watts_strogatz_graph(20, 4, 0.0, Random(1))
+        assert g.num_edges == 40
+        assert all(g.degree(v) == 4 for v in g.vertices())
+        assert g.has_edge(0, 1)
+        assert g.has_edge(0, 2)
+
+    def test_edge_count_preserved_under_rewiring(self):
+        base = watts_strogatz_graph(30, 4, 0.0, Random(2))
+        rewired = watts_strogatz_graph(30, 4, 0.3, Random(2))
+        assert rewired.num_edges == base.num_edges
+
+    def test_rewiring_lowers_clustering(self):
+        lattice = watts_strogatz_graph(100, 6, 0.0, Random(3))
+        random_ish = watts_strogatz_graph(100, 6, 0.9, Random(3))
+        assert average_clustering(random_ish) < average_clustering(lattice)
+
+    def test_determinism(self):
+        a = watts_strogatz_graph(25, 4, 0.2, Random(4))
+        b = watts_strogatz_graph(25, 4, 0.2, Random(4))
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n": 10, "nearest": 3, "rewire_probability": 0.1},
+            {"n": 10, "nearest": 0, "rewire_probability": 0.1},
+            {"n": 4, "nearest": 4, "rewire_probability": 0.1},
+            {"n": 10, "nearest": 4, "rewire_probability": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(rng=Random(1), **kwargs)
+
+    def test_mis_algorithms_work(self):
+        from repro.algorithms.feedback import FeedbackMIS
+
+        g = watts_strogatz_graph(60, 6, 0.2, Random(5))
+        FeedbackMIS().run(g, Random(6)).verify()

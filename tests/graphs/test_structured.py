@@ -1,0 +1,137 @@
+"""Unit tests for the structured graph families."""
+
+import pytest
+
+from repro.graphs.structured import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    grid_graph,
+    hex_lattice_graph,
+    hypercube_graph,
+    path_graph,
+    star_graph,
+    torus_grid_graph,
+)
+
+
+class TestBasicFamilies:
+    def test_empty_graph(self):
+        g = empty_graph(7)
+        assert g.num_vertices == 7
+        assert g.num_edges == 0
+
+    @pytest.mark.parametrize("n,edges", [(0, 0), (1, 0), (2, 1), (5, 10)])
+    def test_complete_graph(self, n, edges):
+        g = complete_graph(n)
+        assert g.num_edges == edges
+        if n > 1:
+            assert g.min_degree() == g.max_degree() == n - 1
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 7])
+    def test_path_graph(self, n):
+        g = path_graph(n)
+        assert g.num_edges == max(n - 1, 0)
+        if n >= 2:
+            assert g.degree(0) == 1
+            assert g.degree(n - 1) == 1
+
+    def test_cycle_graph(self):
+        g = cycle_graph(6)
+        assert g.num_edges == 6
+        assert all(g.degree(v) == 2 for v in g.vertices())
+        assert g.has_edge(5, 0)
+
+    def test_cycle_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_trivial_cycles(self):
+        assert cycle_graph(0).num_edges == 0
+        assert cycle_graph(1).num_edges == 0
+
+    def test_star_graph(self):
+        g = star_graph(6)
+        assert g.num_vertices == 7
+        assert g.degree(0) == 6
+        assert all(g.degree(v) == 1 for v in range(1, 7))
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(3, 4)
+        assert g.num_edges == 12
+        assert g.degree(0) == 4
+        assert g.degree(3) == 3
+
+
+class TestGrids:
+    def test_grid_counts(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        # edges: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8
+        assert g.num_edges == 17
+
+    def test_grid_corner_degrees(self):
+        g = grid_graph(3, 3)
+        assert g.degree(0) == 2          # corner
+        assert g.degree(1) == 3          # edge
+        assert g.degree(4) == 4          # centre
+
+    def test_degenerate_grids(self):
+        assert grid_graph(0, 5).num_vertices == 0
+        assert grid_graph(1, 5).num_edges == 4
+
+    def test_torus_is_regular(self):
+        g = torus_grid_graph(4, 5)
+        assert g.num_vertices == 20
+        assert all(g.degree(v) == 4 for v in g.vertices())
+        assert g.num_edges == 40
+
+    def test_torus_small_dims_rejected(self):
+        with pytest.raises(ValueError):
+            torus_grid_graph(2, 5)
+
+    def test_torus_empty(self):
+        assert torus_grid_graph(0, 0).num_vertices == 0
+
+
+class TestHypercube:
+    @pytest.mark.parametrize("d", [0, 1, 2, 3, 4])
+    def test_hypercube_regular(self, d):
+        g = hypercube_graph(d)
+        assert g.num_vertices == 2 ** d
+        assert g.num_edges == d * 2 ** (d - 1) if d > 0 else g.num_edges == 0
+        if d > 0:
+            assert all(g.degree(v) == d for v in g.vertices())
+
+    def test_hypercube_adjacency_is_bitflip(self):
+        g = hypercube_graph(3)
+        for u, v in g.edges():
+            assert bin(u ^ v).count("1") == 1
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            hypercube_graph(-1)
+
+
+class TestHexLattice:
+    def test_interior_cell_has_six_neighbors(self):
+        g = hex_lattice_graph(5, 5)
+        interior = 2 * 5 + 2  # row 2, col 2
+        assert g.degree(interior) == 6
+
+    def test_positions_returned(self):
+        g, positions = hex_lattice_graph(3, 4, return_positions=True)
+        assert len(positions) == g.num_vertices == 12
+        # Odd rows are offset by half a cell.
+        assert positions[4][0] == pytest.approx(0.5)
+        assert positions[0][0] == pytest.approx(0.0)
+
+    def test_degenerate(self):
+        assert hex_lattice_graph(0, 3).num_vertices == 0
+        assert hex_lattice_graph(1, 4).num_edges == 3
+
+    def test_single_column(self):
+        g = hex_lattice_graph(4, 1)
+        assert g.num_vertices == 4
+        assert g.is_connected()

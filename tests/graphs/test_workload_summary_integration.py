@@ -1,0 +1,65 @@
+"""Workload characterisation cross-checks.
+
+Independent identities between the metrics module and the generators:
+known closed forms for structured families, concentration for random ones.
+"""
+
+from random import Random
+
+import pytest
+
+from repro.graphs.metrics import (
+    average_clustering,
+    diameter,
+    mean_degree,
+    workload_summary,
+)
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.graphs.structured import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    hex_lattice_graph,
+    torus_grid_graph,
+)
+
+
+class TestClosedForms:
+    def test_complete_graph_summary(self):
+        summary = workload_summary(complete_graph(10))
+        assert summary["density"] == 1.0
+        assert summary["clustering"] == 1.0
+        assert summary["mean_degree"] == 9.0
+        assert summary["components"] == 1.0
+
+    def test_cycle_summary(self):
+        summary = workload_summary(cycle_graph(12))
+        assert summary["mean_degree"] == 2.0
+        assert summary["clustering"] == 0.0
+        assert diameter(cycle_graph(12)) == 6
+
+    def test_torus_mean_degree_exact(self):
+        assert mean_degree(torus_grid_graph(5, 5)) == 4.0
+
+    def test_grid_diameter_is_manhattan(self):
+        assert diameter(grid_graph(4, 7)) == 3 + 6
+
+    def test_hex_lattice_has_triangles(self):
+        assert average_clustering(hex_lattice_graph(5, 5)) > 0.2
+
+
+class TestConcentration:
+    def test_gnp_density_concentrates(self):
+        graph = gnp_random_graph(300, 0.5, Random(1))
+        summary = workload_summary(graph)
+        assert summary["density"] == pytest.approx(0.5, abs=0.02)
+
+    def test_gnp_half_clustering_near_half(self):
+        # In G(n, p) the expected clustering coefficient is p.
+        graph = gnp_random_graph(200, 0.5, Random(2))
+        assert average_clustering(graph) == pytest.approx(0.5, abs=0.03)
+
+    def test_gnp_diameter_two(self):
+        # Dense G(n, 1/2) has diameter 2 w.h.p.
+        graph = gnp_random_graph(150, 0.5, Random(3))
+        assert diameter(graph) == 2

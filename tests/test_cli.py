@@ -1,0 +1,117 @@
+"""End-to-end tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_algorithms(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "feedback" in out
+        assert "afek-sweep" in out
+
+
+class TestRun:
+    def test_random_graph_run(self, capsys):
+        assert main(["run", "--nodes", "40", "--trials", "2", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm=feedback" in out
+        assert "trial 0:" in out
+        assert "trial 1:" in out
+
+    def test_grid_run(self, capsys):
+        assert main(["run", "--grid", "5", "--algorithm", "luby-permutation"]) == 0
+        out = capsys.readouterr().out
+        assert "5x5 grid" in out
+
+    def test_all_algorithms_runnable(self, capsys):
+        from repro.algorithms.registry import available_algorithms
+
+        for name in available_algorithms():
+            assert main(
+                ["run", "--algorithm", name, "--nodes", "20"]
+            ) == 0
+        capsys.readouterr()
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--algorithm", "bogus"])
+
+
+class TestFigures:
+    def test_figure3_csv(self, capsys):
+        assert main(
+            ["figure3", "--trials", "4", "--max-n", "60", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+
+    def test_figure3_csv_mode(self, capsys):
+        assert main(
+            ["figure3", "--trials", "4", "--max-n", "60", "--csv"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("series,x,mean,std,trials")
+
+    def test_figure5(self, capsys):
+        assert main(
+            ["figure5", "--trials", "6", "--max-n", "40"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "feedback" in out
+
+    def test_max_n_validation(self):
+        with pytest.raises(SystemExit):
+            main(["figure3", "--max-n", "5"])
+
+
+class TestTheorem1:
+    def test_runs(self, capsys):
+        assert main(["theorem1", "--max-side", "5", "--trials", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "afek-sweep" in out
+        assert "feedback" in out
+
+
+class TestBio:
+    def test_lattice_report(self, capsys):
+        assert main(["bio", "--rows", "5", "--cols", "5", "--t-end", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "SOPs=" in out
+        assert "pattern is an MIS" in out
+
+
+class TestApplications:
+    def test_sizes(self, capsys):
+        assert main(["sizes", "--nodes", "22", "--trials", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "optimum" in out
+        assert "feedback" in out
+
+    def test_color(self, capsys):
+        assert main(["color", "--nodes", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "proper colouring" in out
+
+    def test_match(self, capsys):
+        assert main(["match", "--nodes", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "maximal matching" in out
+
+    def test_wakeup(self, capsys):
+        assert main(["wakeup", "--nodes", "30", "--max-delay", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "staggered starts" in out
+
+    def test_animate(self, capsys):
+        assert main(["animate", "--nodes", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+        assert "MIS =" in out
+
+    def test_report(self, capsys):
+        assert main(["report", "--trials", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "verdicts:" in out

@@ -1,0 +1,45 @@
+"""Smoke tests: every example script must run to completion.
+
+Each example is executed in-process (fast, keeps coverage) with argv
+pinned so argparse-based examples see no pytest flags.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    assert len(EXAMPLES) >= 3
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_quickstart_reports_all_algorithms(capsys, monkeypatch):
+    from repro.algorithms.registry import available_algorithms
+
+    monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    for name in available_algorithms():
+        assert name in out
+
+
+def test_figure3_example_csv_mode(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["figure3.py", "--csv"])
+    runpy.run_path(str(EXAMPLES_DIR / "figure3.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.startswith("series,x,mean,std,trials")

@@ -1,0 +1,132 @@
+"""End-to-end integration: the full pipeline in one test module.
+
+Generate workloads → run every algorithm → validate → aggregate →
+serialise → reload → analyse.  This is the "does the whole library hang
+together" test, complementing the per-module suites.
+"""
+
+import io
+import json
+from random import Random
+
+import pytest
+
+from repro import (
+    FeedbackMIS,
+    available_algorithms,
+    gnp_random_graph,
+    make_algorithm,
+)
+from repro.analysis.regression import fit_log2
+from repro.analysis.statistics import summarize
+from repro.beeping.events import Trace
+from repro.beeping.trace_io import read_trace, write_trace
+from repro.experiments.records import (
+    ExperimentResult,
+    SeriesPoint,
+    results_from_json,
+    results_to_json,
+)
+from repro.experiments.workloads import available_workloads, make_workload
+from repro.graphs.io import read_edge_list, write_edge_list
+
+
+def test_full_pipeline(tmp_path):
+    """Workload → runs → stats → records → JSON → fit."""
+    sizes = (20, 40, 80)
+    points = []
+    for size_index, n in enumerate(sizes):
+        rounds = []
+        for trial in range(6):
+            graph = gnp_random_graph(n, 0.5, Random(size_index * 100 + trial))
+            run = FeedbackMIS().run(graph, Random(trial))
+            run.verify()
+            rounds.append(run.rounds)
+        stats = summarize(rounds)
+        points.append(
+            SeriesPoint("feedback", float(n), stats.mean, stats.std, 6)
+        )
+    result = ExperimentResult("pipeline", points, master_seed=0)
+
+    # Serialise and reload.
+    path = tmp_path / "result.json"
+    path.write_text(results_to_json(result))
+    restored = results_from_json(path.read_text())
+    assert restored.points == result.points
+
+    # Analyse.
+    fit = fit_log2(restored.xs("feedback"), restored.means("feedback"))
+    assert 0.5 < fit.slope < 6.0
+
+
+def test_graph_and_trace_round_trip_compose(tmp_path):
+    """Persist a graph and its trace, reload both, re-verify the run."""
+    graph = gnp_random_graph(30, 0.4, Random(1))
+    trace = Trace(record_probabilities=True)
+    from repro.beeping.scheduler import BeepingSimulation
+    from repro.core.policy import ExponentFeedbackNode
+
+    result = BeepingSimulation(
+        graph, lambda v: ExponentFeedbackNode(), Random(2), trace=trace
+    ).run()
+    result.verify()
+
+    graph_path = tmp_path / "graph.edges"
+    trace_path = tmp_path / "trace.jsonl"
+    write_edge_list(graph, graph_path)
+    write_trace(trace, trace_path)
+
+    graph_restored = read_edge_list(graph_path)
+    trace_restored = read_trace(trace_path)
+    assert graph_restored == graph
+    joined = set()
+    for event in trace_restored.rounds:
+        joined |= event.joined
+    assert joined == result.mis
+
+
+def test_every_algorithm_on_every_workload_small():
+    """The full compatibility matrix at tiny scale."""
+    for workload in available_workloads():
+        graph = make_workload(workload, 20, Random(3))
+        for name in available_algorithms():
+            run = make_algorithm(name).run(graph, Random(4))
+            run.verify()
+
+
+def test_registry_and_cli_agree(capsys):
+    from repro.cli import main
+
+    main(["list"])
+    listed = capsys.readouterr().out.split()
+    assert listed == available_algorithms()
+
+
+def test_json_schema_stability():
+    """The serialised record schema is part of the public contract."""
+    result = ExperimentResult(
+        "demo", [SeriesPoint("s", 1.0, 2.0, 0.5, 3)], master_seed=9
+    )
+    payload = json.loads(results_to_json(result))
+    assert set(payload) == {
+        "experiment",
+        "master_seed",
+        "parameters",
+        "points",
+    }
+    assert set(payload["points"][0]) == {
+        "series",
+        "x",
+        "mean",
+        "std",
+        "trials",
+        "extra",
+    }
+
+
+def test_stream_io_equivalence():
+    graph = gnp_random_graph(15, 0.3, Random(5))
+    buffer = io.StringIO()
+    write_edge_list(graph, buffer)
+    buffer.seek(0)
+    assert read_edge_list(buffer) == graph

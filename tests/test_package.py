@@ -1,0 +1,67 @@
+"""Package-level sanity: public API surface, version, doctests."""
+
+import doctest
+import importlib
+
+import pytest
+
+import repro
+
+MODULES_WITH_DOCTESTS = [
+    "repro.beeping.rng",
+    "repro.algorithms.afek_sweep",
+    "repro.algorithms.greedy",
+    "repro.graphs.graph",
+]
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_all_names_unique(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.graphs",
+            "repro.beeping",
+            "repro.core",
+            "repro.algorithms",
+            "repro.engine",
+            "repro.bio",
+            "repro.analysis",
+            "repro.experiments",
+            "repro.viz",
+            "repro.cli",
+        ],
+    )
+    def test_subpackages_importable_with_all(self, module_name):
+        module = importlib.import_module(module_name)
+        if hasattr(module, "__all__"):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module_name}.{name}"
+
+
+@pytest.mark.parametrize("module_name", MODULES_WITH_DOCTESTS)
+def test_doctests(module_name):
+    module = importlib.import_module(module_name)
+    failures, _tests = doctest.testmod(module)
+    assert failures == 0
+
+
+def test_package_quickstart():
+    """The README quickstart must keep working."""
+    from random import Random
+
+    from repro import FeedbackMIS, gnp_random_graph, verify_mis
+
+    graph = gnp_random_graph(50, 0.5, Random(1))
+    run = FeedbackMIS().run(graph, Random(2))
+    verify_mis(graph, run.mis)
+    assert run.rounds >= 1

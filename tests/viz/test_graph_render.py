@@ -1,0 +1,57 @@
+"""Tests for terminal graph rendering."""
+
+from repro.graphs.graph import Graph
+from repro.graphs.structured import grid_graph, path_graph
+from repro.viz.graph_render import (
+    render_adjacency,
+    render_grid_mis,
+    render_mis_listing,
+)
+
+
+class TestAdjacency:
+    def test_edge_marks(self):
+        g = Graph(3, [(0, 2)])
+        text = render_adjacency(g)
+        lines = text.split("\n")
+        assert len(lines) == 4  # header + 3 rows
+        assert "#" in lines[1]
+        assert "#" in lines[3]
+
+    def test_mis_marked(self):
+        g = path_graph(3)
+        text = render_adjacency(g, mis=[0, 2])
+        assert "*0" in text.split("\n")[0]
+        assert " 1" in text.split("\n")[0]
+
+
+class TestGridRender:
+    def test_marks_match_membership(self):
+        text = render_grid_mis(2, 3, mis=[0, 4])
+        rows = text.split("\n")
+        assert rows[0] == "■ · ·"
+        assert rows[1] == "· ■ ·"
+
+    def test_full_and_empty(self):
+        assert render_grid_mis(1, 2, mis=[0, 1]) == "■ ■"
+        assert render_grid_mis(1, 2, mis=[]) == "· ·"
+
+
+class TestListing:
+    def test_roles(self):
+        g = path_graph(3)
+        text = render_mis_listing(g, [0, 2])
+        lines = text.split("\n")
+        assert "IN MIS" in lines[0]
+        assert "covered by 0" in lines[1]
+        assert "IN MIS" in lines[2]
+
+    def test_uncovered_flagged(self):
+        g = path_graph(3)
+        text = render_mis_listing(g, [0])
+        assert "UNCOVERED" in text
+
+    def test_degrees_shown(self):
+        g = grid_graph(2, 2)
+        text = render_mis_listing(g, [0, 3])
+        assert "deg=2" in text

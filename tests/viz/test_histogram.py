@@ -1,0 +1,50 @@
+"""Tests for ASCII histograms."""
+
+import pytest
+
+from repro.viz.histogram import ascii_histogram, bin_values
+
+
+class TestBinValues:
+    def test_counts_sum(self):
+        values = [1, 2, 2, 3, 9, 10]
+        bins = bin_values(values, 3)
+        assert sum(count for _l, _h, count in bins) == 6
+        assert len(bins) == 3
+
+    def test_degenerate_single_value(self):
+        bins = bin_values([5, 5, 5], 4)
+        assert bins == [(5.0, 5.0, 3)]
+
+    def test_maximum_included(self):
+        bins = bin_values([0, 10], 2)
+        assert bins[-1][2] == 1  # max lands in last bin, not beyond it
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bin_values([], 3)
+
+    def test_bad_bins_rejected(self):
+        with pytest.raises(ValueError):
+            bin_values([1], 0)
+
+    def test_bounds_cover_range(self):
+        values = [1.0, 2.5, 7.0]
+        bins = bin_values(values, 4)
+        assert bins[0][0] == 1.0
+        assert bins[-1][1] == pytest.approx(7.0)
+
+
+class TestAsciiHistogram:
+    def test_renders_bars_and_counts(self):
+        text = ascii_histogram([1, 1, 1, 2], bins=2, width=8, label="x")
+        assert "x histogram (n=4)" in text
+        assert "###" in text
+        lines = text.split("\n")
+        assert len(lines) == 3
+
+    def test_peak_bar_is_longest(self):
+        text = ascii_histogram([1] * 10 + [5], bins=2, width=20)
+        lines = text.split("\n")[1:]
+        bars = [line.count("#") for line in lines]
+        assert max(bars) == 20
