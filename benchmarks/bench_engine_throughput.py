@@ -47,6 +47,22 @@ def test_vectorized_engine_throughput(benchmark, workload):
     assert run.rounds >= 1
 
 
+def test_fleet_engine_throughput(benchmark, workload):
+    """Whole 32-trial batches per iteration — the fleet's unit of work."""
+    from repro.beeping.rng import derive_seed_block
+    from repro.engine.fleet import FleetSimulator
+
+    simulator = FleetSimulator(workload)
+    counter = iter(range(10_000))
+
+    def run_once():
+        seeds = derive_seed_block(97, next(counter), count=32)
+        return simulator.run_fleet(FeedbackRule(), seeds)
+
+    run = benchmark(run_once)
+    assert int(run.rounds.min()) >= 1
+
+
 def test_luby_throughput(benchmark, workload):
     algorithm = LubyMIS("permutation")
     counter = iter(range(10_000))

@@ -1,23 +1,42 @@
-"""Multi-trial batch driver for the vectorised engine.
+"""Multi-trial batch driver for the vectorised engines.
 
 This is what the figure benchmarks call: for one graph (or one graph
 generator) run ``trials`` independent simulations and return the round and
 beep statistics as arrays.  Seeds are derived with the same splitmix
 discipline as the reference engine, so a batch is reproducible from its
 master seed alone.
+
+Two execution strategies produce bit-identical results:
+
+- ``engine="fleet"`` (the default through ``"auto"``): all trials advance
+  in lockstep as ``(trials, n)`` tensors on the
+  :class:`~repro.engine.fleet.FleetSimulator` — one batched matmul or CSR
+  ``reduceat`` pass per round for the whole batch.
+- ``engine="loop"``: the original per-trial reference path, one
+  :class:`~repro.engine.simulator.VectorizedSimulator` run per trial.  It
+  is kept both as the fallback for rules that are not trial-parallel
+  (stateful rules) and as the oracle the conformance suite checks the
+  fleet against.
+
+Trial ``t`` of either strategy is seeded with
+``derive_seed(master_seed, graph_index, trial)``, so the two agree bit for
+bit and results never depend on which strategy ran.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 import numpy as np
 
-from repro.beeping.rng import derive_seed
+from repro.beeping.rng import derive_seed, derive_seed_block
+from repro.engine.fleet import FleetSimulator
 from repro.engine.rules import ProbabilityRule
 from repro.engine.simulator import VectorizedSimulator
 from repro.graphs.graph import Graph
+
+BATCH_ENGINES = ("auto", "fleet", "loop")
 
 
 @dataclass
@@ -55,7 +74,7 @@ class BatchResult:
         return float(self.mean_beeps.std(ddof=1))
 
 
-def run_batch(
+def run_batch_loop(
     graph: Graph,
     rule_factory: Callable[[], ProbabilityRule],
     trials: int,
@@ -64,11 +83,11 @@ def run_batch(
     validate: bool = False,
     max_rounds: int = 100_000,
 ) -> BatchResult:
-    """Run ``trials`` independent simulations of one rule on one graph.
+    """The per-trial reference path: one simulator run per trial.
 
-    ``rule_factory`` is called once per trial so stateful rules start fresh.
-    ``graph_index`` namespaces the seed derivation when one experiment uses
-    several graphs under the same master seed.
+    ``rule_factory`` is called once per trial so stateful rules start
+    fresh.  This is the oracle :func:`run_batch`'s fleet path is
+    cross-validated against.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -89,4 +108,59 @@ def run_batch(
         trials=trials,
         rounds=rounds,
         mean_beeps=mean_beeps,
+    )
+
+
+def run_batch(
+    graph: Graph,
+    rule_factory: Callable[[], ProbabilityRule],
+    trials: int,
+    master_seed: int,
+    graph_index: int = 0,
+    validate: bool = False,
+    max_rounds: int = 100_000,
+    engine: str = "auto",
+) -> BatchResult:
+    """Run ``trials`` independent simulations of one rule on one graph.
+
+    ``graph_index`` namespaces the seed derivation when one experiment uses
+    several graphs under the same master seed.  ``engine`` picks the
+    execution strategy (``"auto"``, ``"fleet"`` or ``"loop"``; see module
+    docstring) without affecting results.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if engine not in BATCH_ENGINES:
+        raise ValueError(f"engine must be one of {BATCH_ENGINES}, got {engine!r}")
+    rule = None
+    if engine == "auto":
+        # Read the flag off the factory when it is the rule class itself;
+        # only opaque factories (lambdas) cost one probe instance, which
+        # the fleet path then reuses.
+        parallel = getattr(rule_factory, "trial_parallel", None)
+        if parallel is None:
+            rule = rule_factory()
+            parallel = getattr(rule, "trial_parallel", False)
+        engine = "fleet" if parallel else "loop"
+    if engine == "loop":
+        return run_batch_loop(
+            graph,
+            rule_factory,
+            trials,
+            master_seed,
+            graph_index=graph_index,
+            validate=validate,
+            max_rounds=max_rounds,
+        )
+    if rule is None:
+        rule = rule_factory()
+    seeds = derive_seed_block(master_seed, graph_index, count=trials)
+    simulator = FleetSimulator(graph, max_rounds=max_rounds)
+    run = simulator.run_fleet(rule, seeds, validate=validate)
+    return BatchResult(
+        rule_name=run.rule_name,
+        num_vertices=graph.num_vertices,
+        trials=trials,
+        rounds=run.rounds,
+        mean_beeps=run.mean_beeps,
     )

@@ -1,0 +1,238 @@
+"""Trial-parallel fleet engine: all trials of one batch in lockstep.
+
+The per-trial engines (:class:`~repro.engine.simulator.VectorizedSimulator`,
+:class:`~repro.engine.sparse.SparseSimulator`) vectorise over *vertices* but
+still pay one Python round-loop per trial, so a 100-trial figure point costs
+100 interpreted loops.  This engine vectorises over vertices *and* trials:
+the whole batch is a ``(trials, n)`` boolean tensor advanced one round at a
+time —
+
+- ``beep = active & (U < P)`` with one fresh uniform row per live trial;
+- ``heard``: one batched matmul against the adjacency (dense backend) or
+  one ``add.reduceat`` pass over the CSR neighbour lists (sparse backend);
+- per-trial early exit through an alive-mask: finished trials drop out of
+  the random drawing and the matmul, and their round counts freeze.
+
+Bit-reproducibility contract
+----------------------------
+Trial ``t`` of a fleet run seeded with
+``derive_seed_block(master_seed, graph_index, count=trials)`` consumes the
+exact random stream of a per-trial run seeded with
+``derive_seed(master_seed, graph_index, t)``: every live trial draws
+``Generator.random(n)`` once per round from its own generator, and both
+backends compute the same ``heard`` booleans as the per-trial engines.
+Round counts, MIS membership and beep counts therefore agree *bit for bit*
+with the per-trial loop — the conformance suite in
+``tests/engine/test_conformance.py`` enforces this.
+
+The lockstep schedule requires the probability rule to be elementwise
+(``ProbabilityRule.trial_parallel``); the three paper rules qualify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Set
+
+import numpy as np
+
+from repro.engine.rules import ProbabilityRule
+from repro.engine.simulator import DEFAULT_MAX_ROUNDS, EngineRun
+from repro.engine.sparse import build_csr
+from repro.graphs.graph import Graph
+from repro.graphs.validation import verify_mis
+
+#: Largest vertex count for which the ``auto`` backend picks the dense
+#: (float32 GEMM) path; a 4096^2 float32 adjacency is 64 MB.
+DENSE_VERTEX_LIMIT = 4096
+
+
+@dataclass
+class FleetRun:
+    """Per-trial outcomes of one fleet simulation.
+
+    Row ``t`` of every array is trial ``t``; :meth:`trial_run` re-packages a
+    row as the :class:`~repro.engine.simulator.EngineRun` the per-trial
+    engines return.
+    """
+
+    rule_name: str
+    num_vertices: int
+    trials: int
+    rounds: np.ndarray
+    membership: np.ndarray
+    beeps_by_node: np.ndarray
+    beep_history: Optional[np.ndarray] = None
+
+    @property
+    def mean_beeps(self) -> np.ndarray:
+        """Per-trial mean beeps per node (``BatchResult.mean_beeps``)."""
+        if self.num_vertices == 0:
+            return np.zeros(self.trials, dtype=np.float64)
+        return self.beeps_by_node.sum(axis=1) / float(self.num_vertices)
+
+    def mis_set(self, trial: int) -> Set[int]:
+        """The MIS selected by one trial."""
+        return {int(v) for v in np.flatnonzero(self.membership[trial])}
+
+    def trial_run(self, trial: int) -> EngineRun:
+        """One trial's outcome in the per-trial engines' result type."""
+        return EngineRun(
+            rule_name=self.rule_name,
+            num_vertices=self.num_vertices,
+            rounds=int(self.rounds[trial]),
+            mis=self.mis_set(trial),
+            beeps_by_node=self.beeps_by_node[trial].copy(),
+        )
+
+
+class FleetSimulator:
+    """Runs one rule on one graph for a whole fleet of trials at once.
+
+    ``backend`` selects how the one-bit OR observation is computed:
+
+    - ``"dense"``: ``(trials, n) @ (n, n)`` float32 GEMM.  Exact (counts are
+      small integers) and BLAS-fast; memory is the n x n adjacency.
+    - ``"sparse"``: gather + ``add.reduceat`` over CSR neighbour lists,
+      O(trials * (n + m)) per round; the large-sparse-graph path.
+    - ``"auto"`` (default): dense up to :data:`DENSE_VERTEX_LIMIT` vertices,
+      sparse beyond.
+
+    Both backends produce identical booleans, so backend choice never
+    changes results — only speed and memory.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        backend: str = "auto",
+    ) -> None:
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        if backend not in ("auto", "dense", "sparse"):
+            raise ValueError(
+                f"backend must be 'auto', 'dense' or 'sparse', got {backend!r}"
+            )
+        self._graph = graph
+        self._max_rounds = max_rounds
+        n = graph.num_vertices
+        if backend == "auto":
+            backend = "dense" if n <= DENSE_VERTEX_LIMIT else "sparse"
+        self._backend = backend
+        if backend == "dense":
+            self._adjacency = graph.adjacency_matrix().astype(np.float32)
+        else:
+            self._columns, self._starts, self._isolated = build_csr(graph)
+
+    @property
+    def graph(self) -> Graph:
+        """The simulated graph."""
+        return self._graph
+
+    @property
+    def backend(self) -> str:
+        """The resolved backend, ``"dense"`` or ``"sparse"``."""
+        return self._backend
+
+    def _neighbor_or(self, flags: np.ndarray) -> np.ndarray:
+        """Row-wise: whether any neighbour's flag is set, per vertex."""
+        k, n = flags.shape
+        if n == 0:
+            return np.zeros((k, 0), dtype=bool)
+        if self._backend == "dense":
+            counts = flags.astype(np.float32) @ self._adjacency
+            return counts > 0.0
+        if self._columns.size == 0:
+            return np.zeros((k, n), dtype=bool)
+        gathered = flags[:, self._columns].astype(np.int32)
+        sums = np.add.reduceat(gathered, self._starts, axis=1)
+        result = sums > 0
+        result[:, self._isolated] = False
+        return result
+
+    def _scattered_neighbor_or(
+        self, flags: np.ndarray, live: np.ndarray
+    ) -> np.ndarray:
+        """Neighbour-OR computed only on live rows, zero elsewhere."""
+        if live.size == flags.shape[0]:
+            return self._neighbor_or(flags)
+        result = np.zeros(flags.shape, dtype=bool)
+        result[live] = self._neighbor_or(flags[live])
+        return result
+
+    def run_fleet(
+        self,
+        rule: ProbabilityRule,
+        seeds: Sequence[int],
+        validate: bool = False,
+        record_beeps: bool = False,
+    ) -> FleetRun:
+        """Simulate one independent trial per seed, all in lockstep.
+
+        ``record_beeps=True`` additionally returns the full round-by-round
+        beep tensor (``(rounds, trials, n)``) for trace tests; leave it off
+        for large runs.
+        """
+        if len(seeds) < 1:
+            raise ValueError("need at least one seed")
+        if not getattr(rule, "trial_parallel", False):
+            raise ValueError(
+                f"rule {rule.name!r} is not trial-parallel; "
+                "use the per-trial loop instead"
+            )
+        n = self._graph.num_vertices
+        trials = len(seeds)
+        generators = [np.random.default_rng(int(seed)) for seed in seeds]
+        active = np.ones((trials, n), dtype=bool)
+        membership = np.zeros((trials, n), dtype=bool)
+        probabilities = np.broadcast_to(
+            rule.initial(n), (trials, n)
+        ).astype(np.float64, copy=True)
+        beeps = np.zeros((trials, n), dtype=np.int64)
+        rounds = np.zeros(trials, dtype=np.int64)
+        uniforms = np.empty((trials, n), dtype=np.float64)
+        history = [] if record_beeps else None
+        alive = active.any(axis=1)
+        round_index = 0
+        while alive.any():
+            if round_index >= self._max_rounds:
+                raise RuntimeError(
+                    f"fleet simulation exceeded {self._max_rounds} rounds"
+                )
+            live = np.flatnonzero(alive)
+            for t in live:
+                uniforms[t] = generators[t].random(n)
+            # Dead rows keep stale uniforms, but their active row is
+            # all-False so beep stays all-False there.
+            beep = active & (uniforms < probabilities)
+            heard = self._scattered_neighbor_or(beep, live)
+            probabilities = rule.update(probabilities, heard, active, round_index)
+            joined = beep & ~heard
+            membership |= joined
+            neighbor_joined = self._scattered_neighbor_or(joined, live)
+            beeps += beep
+            active &= ~(joined | neighbor_joined)
+            if record_beeps:
+                history.append(beep.copy())
+            still_alive = active.any(axis=1)
+            rounds[alive & ~still_alive] = round_index + 1
+            alive = still_alive
+            round_index += 1
+        run = FleetRun(
+            rule_name=rule.name,
+            num_vertices=n,
+            trials=trials,
+            rounds=rounds,
+            membership=membership,
+            beeps_by_node=beeps,
+            beep_history=(
+                np.array(history, dtype=bool).reshape(len(history), trials, n)
+                if record_beeps
+                else None
+            ),
+        )
+        if validate:
+            for trial in range(trials):
+                verify_mis(self._graph, run.mis_set(trial))
+        return run

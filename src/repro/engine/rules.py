@@ -23,7 +23,21 @@ from repro.algorithms.afek_sweep import sweep_probability
 
 
 class ProbabilityRule(ABC):
-    """The probability policy of one vectorised simulation run."""
+    """The probability policy of one vectorised simulation run.
+
+    ``initial`` and ``update`` are written against per-trial vectors of
+    length n, but the fleet engine calls them with ``(trials, n)`` matrices
+    — one row per concurrent trial.  A rule opts into that by setting
+    ``trial_parallel = True``, promising its ``update`` is
+    elementwise/broadcast-safe and keeps no per-run mutable state, so each
+    matrix row evolves exactly as the corresponding vector would.  The
+    default is ``False`` — batch drivers then run the per-trial loop with
+    a fresh rule instance per trial, which is always safe — so a stateful
+    subclass cannot be routed to the fleet by accident.
+    """
+
+    #: Whether one instance may drive many lockstep trials at once (opt-in).
+    trial_parallel: bool = False
 
     @abstractmethod
     def initial(self, num_vertices: int) -> np.ndarray:
@@ -63,6 +77,8 @@ class FeedbackRule(ProbabilityRule):
     The generalised Section 6 parameters are supported exactly as in
     :class:`repro.core.policy.FeedbackNode`.
     """
+
+    trial_parallel = True
 
     def __init__(
         self,
@@ -108,6 +124,8 @@ class FeedbackRule(ProbabilityRule):
 class SweepRule(ProbabilityRule):
     """The DISC 2011 global sweep: shared p from the phase schedule."""
 
+    trial_parallel = True
+
     @property
     def name(self) -> str:
         return "afek-sweep"
@@ -128,6 +146,8 @@ class SweepRule(ProbabilityRule):
 
 class GlobalScheduleRule(ProbabilityRule):
     """The Science 2011 schedule: p from n and the maximum degree."""
+
+    trial_parallel = True
 
     def __init__(
         self,

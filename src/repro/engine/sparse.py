@@ -15,7 +15,7 @@ the paper's n = 1000.
 
 from __future__ import annotations
 
-from typing import Set
+from typing import Set, Tuple
 
 import numpy as np
 
@@ -27,6 +27,36 @@ from repro.graphs.validation import verify_mis
 DEFAULT_MAX_ROUNDS = 100_000
 
 
+def build_csr(graph: Graph) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """CSR neighbour lists of ``graph``: ``(columns, starts, isolated)``.
+
+    ``columns`` concatenates each vertex's neighbour list; ``starts`` holds
+    the per-vertex segment starts, pre-clamped into ``columns``' index
+    range so they can be fed straight to ``np.add.reduceat`` (empty
+    segments — isolated vertices — would otherwise index one past the
+    end; their reduceat output is garbage either way and must be masked
+    with ``isolated``).  Shared by :class:`SparseSimulator` and the fleet
+    engine's sparse backend so the two stay structurally identical.
+    """
+    n = graph.num_vertices
+    degrees = np.fromiter(
+        (graph.degree(v) for v in graph.vertices()),
+        dtype=np.int64,
+        count=n,
+    )
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=offsets[1:])
+    columns = np.empty(int(offsets[-1]), dtype=np.int64)
+    cursor = 0
+    for v in graph.vertices():
+        neighbors = graph.neighbors(v)
+        columns[cursor:cursor + len(neighbors)] = neighbors
+        cursor += len(neighbors)
+    starts = offsets[:-1].copy()
+    np.clip(starts, 0, max(columns.size - 1, 0), out=starts)
+    return columns, starts, degrees == 0
+
+
 class SparseSimulator:
     """CSR-based simulator, API-compatible with
     :class:`~repro.engine.simulator.VectorizedSimulator`."""
@@ -36,22 +66,7 @@ class SparseSimulator:
             raise ValueError("max_rounds must be >= 1")
         self._graph = graph
         self._max_rounds = max_rounds
-        n = graph.num_vertices
-        degrees = np.fromiter(
-            (graph.degree(v) for v in graph.vertices()),
-            dtype=np.int64,
-            count=n,
-        )
-        self._offsets = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(degrees, out=self._offsets[1:])
-        self._columns = np.empty(int(self._offsets[-1]), dtype=np.int64)
-        cursor = 0
-        for v in graph.vertices():
-            neighbors = graph.neighbors(v)
-            self._columns[cursor:cursor + len(neighbors)] = neighbors
-            cursor += len(neighbors)
-        # reduceat needs non-empty segments; remember isolated vertices.
-        self._isolated = degrees == 0
+        self._columns, self._starts, self._isolated = build_csr(graph)
 
     @property
     def graph(self) -> Graph:
@@ -68,11 +83,7 @@ class SparseSimulator:
         gathered = flags[self._columns].astype(np.int64)
         # reduceat over CSR segments; empty segments (isolated vertices)
         # yield garbage, masked out below.
-        starts = self._offsets[:-1].copy()
-        # reduceat requires indices < len(gathered); clamp empty tail
-        # segments (their result is masked anyway).
-        np.clip(starts, 0, max(gathered.size - 1, 0), out=starts)
-        sums = np.add.reduceat(gathered, starts)
+        sums = np.add.reduceat(gathered, self._starts)
         result = sums > 0
         result[self._isolated] = False
         return result

@@ -10,9 +10,12 @@
 - :func:`grid_beeps_series` — the Section 5 text claim: mean beeps per
   node ≈ 1.1 on rectangular grid graphs, independent of size.
 
-All drivers run on the vectorised engine (Figure 3 reaches n = 1000 with
-100 trials per point, far beyond what the per-node reference engine does in
-reasonable time) and derive every seed from one master seed.
+All drivers run on the vectorised engines — by default the trial-parallel
+fleet engine, which evaluates every trial of a (size, rule) point in one
+lockstep batch (Figure 3 reaches n = 1000 with 100 trials per point, far
+beyond what the per-node reference engine does in reasonable time) — and
+derive every seed from one master seed, so results are identical under
+``engine="fleet"`` and ``engine="loop"``.
 """
 
 from __future__ import annotations
@@ -61,6 +64,7 @@ def _beeping_series(
     master_seed: int,
     quantity: str,
     validate: bool,
+    engine: str = "auto",
 ) -> ExperimentResult:
     """Shared sweep: both algorithms over sizes, extracting one quantity."""
     if quantity not in ("rounds", "beeps"):
@@ -80,6 +84,7 @@ def _beeping_series(
                     derive_seed(master_seed, size_index, rule_index),
                     graph_index=graph_index,
                     validate=validate,
+                    engine=engine,
                 )
                 if quantity == "rounds":
                     all_values.extend(float(r) for r in batch.rounds)
@@ -117,6 +122,7 @@ def figure3_series(
     master_seed: int = 1303,
     graphs_per_size: int = 5,
     validate: bool = False,
+    engine: str = "auto",
 ) -> ExperimentResult:
     """Figure 3: mean rounds vs n on ``G(n, edge_probability)``.
 
@@ -144,6 +150,7 @@ def figure3_series(
         master_seed,
         "rounds",
         validate,
+        engine=engine,
     )
     for n in sizes:
         result.points.append(
@@ -163,6 +170,7 @@ def figure5_series(
     master_seed: int = 1305,
     graphs_per_size: int = 5,
     validate: bool = False,
+    engine: str = "auto",
 ) -> ExperimentResult:
     """Figure 5: mean beeps per node vs n on ``G(n, edge_probability)``."""
 
@@ -184,6 +192,7 @@ def figure5_series(
         master_seed,
         "beeps",
         validate,
+        engine=engine,
     )
     result.parameters["edge_probability"] = edge_probability
     return result
@@ -194,6 +203,7 @@ def grid_beeps_series(
     trials: int = 100,
     master_seed: int = 1306,
     validate: bool = False,
+    engine: str = "auto",
 ) -> ExperimentResult:
     """Mean beeps per node of the feedback algorithm on square grids.
 
@@ -214,6 +224,7 @@ def grid_beeps_series(
         master_seed,
         "beeps",
         validate,
+        engine=engine,
     )
     result.parameters["side_lengths"] = list(side_lengths)
     return result

@@ -3,7 +3,12 @@
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.beeping.rng import RngStream, derive_seed, spawn_rng
+from repro.beeping.rng import (
+    RngStream,
+    derive_seed,
+    derive_seed_block,
+    spawn_rng,
+)
 
 
 class TestDeriveSeed:
@@ -27,6 +32,47 @@ class TestDeriveSeed:
 
     def test_negative_indices_allowed(self):
         assert derive_seed(1, -1) != derive_seed(1, 1)
+
+
+class TestDeriveSeedBlock:
+    """The vectorised block must equal the scalar chain bit for bit —
+    this is the fleet engine's seed contract."""
+
+    def test_matches_scalar_derivation(self):
+        seeds = derive_seed_block(42, 3, count=16)
+        assert [int(s) for s in seeds] == [
+            derive_seed(42, 3, t) for t in range(16)
+        ]
+
+    def test_matches_scalar_with_deep_path(self):
+        seeds = derive_seed_block(7, 1, 2, 3, count=5)
+        assert [int(s) for s in seeds] == [
+            derive_seed(7, 1, 2, 3, t) for t in range(5)
+        ]
+
+    def test_matches_scalar_with_empty_path(self):
+        seeds = derive_seed_block(99, count=4)
+        assert [int(s) for s in seeds] == [derive_seed(99, t) for t in range(4)]
+
+    def test_negative_path_elements(self):
+        seeds = derive_seed_block(5, -2, count=3)
+        assert [int(s) for s in seeds] == [
+            derive_seed(5, -2, t) for t in range(3)
+        ]
+
+    def test_dtype_and_range(self):
+        seeds = derive_seed_block(0, count=8)
+        assert str(seeds.dtype) == "uint64"
+        assert all(0 <= int(s) < 2**64 for s in seeds)
+
+    def test_empty_block(self):
+        assert len(derive_seed_block(1, 2, count=0)) == 0
+
+    def test_rejects_negative_count(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="count"):
+            derive_seed_block(1, count=-1)
 
 
 class TestSpawnRng:

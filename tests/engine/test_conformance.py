@@ -1,0 +1,157 @@
+"""Cross-engine conformance: all fast engines are one engine, observably.
+
+On a shared per-trial seed, the dense, sparse and fleet (both backends)
+engines must agree **bit for bit** — same round count, same MIS, same
+per-node beep counts — because they draw the identical random stream and
+compute the identical ``heard`` booleans.  The per-node reference engine
+consumes randomness differently, so it is held to MIS validity and
+distributional agreement instead.
+
+These tests are the refactoring guard-rail for the engine package: any
+semantic drift in one engine (round ordering, probability updates, seed
+derivation) breaks the agreement immediately.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import numpy as np
+import pytest
+
+from repro.algorithms.afek_sweep import AfekSweepMIS
+from repro.algorithms.feedback import FeedbackMIS
+from repro.beeping.rng import derive_seed
+from repro.engine.batch import run_batch, run_batch_loop
+from repro.engine.rules import FeedbackRule
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.graphs.validation import verify_mis
+
+from tests.engine.conftest import ENGINE_IDS, engine_run, make_rule
+
+RULE_NAMES = ("feedback", "afek-sweep", "afek-global")
+MASTER_SEED = 0xC04F
+
+
+class TestBitEquality:
+    """Dense == sparse == fleet-dense == fleet-sparse, bit for bit."""
+
+    @pytest.mark.parametrize("rule_name", RULE_NAMES)
+    def test_all_engines_agree_exactly(self, conformance_graph, rule_name):
+        graph = conformance_graph
+        seed = derive_seed(MASTER_SEED, graph.num_vertices, graph.num_edges)
+        runs = {
+            engine_id: engine_run(
+                engine_id,
+                graph,
+                lambda: make_rule(rule_name, graph),
+                seed,
+                validate=True,
+            )
+            for engine_id in ENGINE_IDS
+        }
+        baseline = runs["dense"]
+        for engine_id, run in runs.items():
+            assert run.rounds == baseline.rounds, engine_id
+            assert run.mis == baseline.mis, engine_id
+            assert np.array_equal(
+                run.beeps_by_node, baseline.beeps_by_node
+            ), engine_id
+
+    def test_disagreement_is_detectable(self, conformance_graph):
+        """Different seeds give different traces — equality is not vacuous."""
+        graph = conformance_graph
+        if graph.num_edges == 0:
+            pytest.skip("beep traces on edgeless graphs are degenerate")
+        differing = 0
+        for offset in range(5):
+            a = engine_run("dense", graph, FeedbackRule, 1000 + offset)
+            b = engine_run("dense", graph, FeedbackRule, 2000 + offset)
+            if a.rounds != b.rounds or not np.array_equal(
+                a.beeps_by_node, b.beeps_by_node
+            ):
+                differing += 1
+        assert differing > 0
+
+
+class TestBatchConformance:
+    """The fleet batch path reproduces the per-trial loop bit for bit."""
+
+    TRIALS = 12
+
+    @pytest.mark.parametrize("rule_name", ("feedback", "afek-sweep"))
+    @pytest.mark.parametrize("graph_index", (0, 3))
+    def test_fleet_batch_matches_loop(
+        self, conformance_graph, rule_name, graph_index
+    ):
+        graph = conformance_graph
+        loop = run_batch_loop(
+            graph,
+            lambda: make_rule(rule_name, graph),
+            self.TRIALS,
+            MASTER_SEED,
+            graph_index=graph_index,
+        )
+        fleet = run_batch(
+            graph,
+            lambda: make_rule(rule_name, graph),
+            self.TRIALS,
+            MASTER_SEED,
+            graph_index=graph_index,
+            engine="fleet",
+        )
+        assert fleet.rule_name == loop.rule_name
+        assert np.array_equal(fleet.rounds, loop.rounds)
+        assert np.array_equal(fleet.mean_beeps, loop.mean_beeps)
+
+    def test_auto_engine_matches_explicit_fleet(self, conformance_graph):
+        graph = conformance_graph
+        auto = run_batch(graph, FeedbackRule, self.TRIALS, MASTER_SEED)
+        fleet = run_batch(
+            graph, FeedbackRule, self.TRIALS, MASTER_SEED, engine="fleet"
+        )
+        assert np.array_equal(auto.rounds, fleet.rounds)
+        assert np.array_equal(auto.mean_beeps, fleet.mean_beeps)
+
+
+class TestReferenceAgreement:
+    """The per-node reference engine agrees in law, not bit for bit."""
+
+    TRIALS = 40
+
+    @pytest.mark.parametrize(
+        "algorithm_factory,rule_name",
+        [(FeedbackMIS, "feedback"), (AfekSweepMIS, "afek-sweep")],
+    )
+    def test_distributional_agreement_all_engines(
+        self, engine_id, algorithm_factory, rule_name
+    ):
+        graph = gnp_random_graph(30, 0.3, Random(77))
+        ref_rounds = []
+        ref_beeps = []
+        for t in range(self.TRIALS):
+            run = algorithm_factory().run(graph, Random(40_000 + t))
+            verify_mis(graph, run.mis)
+            ref_rounds.append(run.rounds)
+            ref_beeps.append(run.mean_beeps_per_node)
+        eng_rounds = []
+        eng_beeps = []
+        for t in range(self.TRIALS):
+            run = engine_run(
+                engine_id,
+                graph,
+                lambda: make_rule(rule_name, graph),
+                derive_seed(MASTER_SEED, 7, t),
+                validate=True,
+            )
+            eng_rounds.append(run.rounds)
+            eng_beeps.append(run.mean_beeps_per_node)
+        ref_mean_rounds = sum(ref_rounds) / self.TRIALS
+        eng_mean_rounds = sum(eng_rounds) / self.TRIALS
+        ref_mean_beeps = sum(ref_beeps) / self.TRIALS
+        eng_mean_beeps = sum(eng_beeps) / self.TRIALS
+        # ~4 standard errors at 40 trials of a few-round-std distribution.
+        assert eng_mean_rounds == pytest.approx(ref_mean_rounds, rel=0.35)
+        assert eng_mean_beeps == pytest.approx(
+            ref_mean_beeps, rel=0.35, abs=0.5
+        )

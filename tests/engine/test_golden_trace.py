@@ -1,0 +1,88 @@
+"""Golden-trace regression: an exact, checked-in round-by-round run.
+
+The conformance suite proves the engines agree with *each other*; this
+test pins them to an absolute reference.  The beep trace below was
+recorded from the fleet engine at the commit that introduced it, on a
+fixed 8-vertex G(n, 0.4) graph under master seed ``0x60``.  Any change to
+seed derivation, random-stream consumption, round ordering or probability
+updates — in any engine, since they are bit-equal — shifts this trace and
+fails here, turning silent semantic drift into a loud diff.
+
+If a future change *intends* to alter the trace (e.g. a new seed
+contract), regenerate the literals with ``record_beeps=True`` and say so
+in the commit message.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import numpy as np
+
+from repro.beeping.rng import derive_seed_block
+from repro.engine.fleet import FleetSimulator
+from repro.engine.rules import FeedbackRule
+from repro.graphs.random_graphs import gnp_random_graph
+
+MASTER_SEED = 0x60
+GRAPH_SEED = 1984
+
+GOLDEN_EDGES = [
+    (0, 1), (0, 3), (1, 2), (1, 3), (2, 4), (2, 5),
+    (2, 6), (2, 7), (3, 5), (3, 6), (4, 5), (4, 7),
+]
+GOLDEN_ROUNDS = [1, 3]
+GOLDEN_MIS = [[1, 5, 6, 7], [0, 5, 6, 7]]
+GOLDEN_BEEPS = [
+    [0, 1, 0, 0, 0, 1, 1, 1],
+    [1, 0, 1, 0, 1, 1, 2, 1],
+]
+# One string per round, one 0/1 char per vertex.
+GOLDEN_TRACE = {
+    0: ["01000111"],
+    1: ["10101010", "00000000", "00000111"],
+}
+
+
+def _golden_run():
+    graph = gnp_random_graph(8, 0.4, Random(GRAPH_SEED))
+    assert sorted(graph.edges()) == GOLDEN_EDGES, (
+        "the golden graph itself changed — gnp_random_graph drift?"
+    )
+    seeds = derive_seed_block(MASTER_SEED, 0, count=2)
+    return graph, FleetSimulator(graph).run_fleet(
+        FeedbackRule(), seeds, validate=True, record_beeps=True
+    )
+
+
+def test_golden_summary_statistics():
+    _graph, run = _golden_run()
+    assert run.rounds.tolist() == GOLDEN_ROUNDS
+    assert [sorted(run.mis_set(t)) for t in range(2)] == GOLDEN_MIS
+    assert run.beeps_by_node.tolist() == GOLDEN_BEEPS
+
+
+def test_golden_round_by_round_trace():
+    _graph, run = _golden_run()
+    history = run.beep_history
+    for trial, expected_rows in GOLDEN_TRACE.items():
+        observed = [
+            "".join("1" if beeped else "0" for beeped in history[r, trial])
+            for r in range(int(run.rounds[trial]))
+        ]
+        assert observed == expected_rows, f"trial {trial} trace drifted"
+
+
+def test_golden_trace_holds_for_per_trial_engines():
+    """The same seeds through the per-trial batch loop give the same runs."""
+    from repro.beeping.rng import derive_seed
+    from repro.engine.simulator import VectorizedSimulator
+    from repro.engine.sparse import SparseSimulator
+
+    graph, fleet = _golden_run()
+    for engine in (VectorizedSimulator(graph), SparseSimulator(graph)):
+        for t in range(2):
+            run = engine.run(FeedbackRule(), derive_seed(MASTER_SEED, 0, t))
+            assert run.rounds == GOLDEN_ROUNDS[t]
+            assert sorted(run.mis) == GOLDEN_MIS[t]
+            assert np.array_equal(run.beeps_by_node, GOLDEN_BEEPS[t])

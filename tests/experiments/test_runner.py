@@ -55,3 +55,71 @@ class TestRunTrials:
     def test_trials_validation(self):
         with pytest.raises(ValueError):
             run_trials(FeedbackMIS, graph_factory, 0, master_seed=8)
+
+
+class TestRunFleetTrials:
+    def _run(self, **kwargs):
+        from repro.engine.rules import FeedbackRule
+        from repro.experiments.runner import run_fleet_trials
+
+        defaults = dict(trials=9, master_seed=21, graphs=3)
+        defaults.update(kwargs)
+        return run_fleet_trials(FeedbackRule, graph_factory, **defaults)
+
+    def test_outcome_count_and_fields(self):
+        outcomes = self._run()
+        assert len(outcomes) == 9
+        for index, outcome in enumerate(outcomes):
+            assert outcome.trial == index
+            assert outcome.rounds >= 1
+            assert outcome.mis_size >= 1
+            assert outcome.mean_beeps_per_node > 0.0
+            assert outcome.messages == outcome.bits > 0
+
+    def test_reproducible(self):
+        assert self._run() == self._run()
+
+    def test_seed_changes_outcomes(self):
+        assert self._run(master_seed=22) != self._run(master_seed=23)
+
+    def test_uneven_split_runs_every_trial(self):
+        outcomes = self._run(trials=7, graphs=3)
+        assert [o.trial for o in outcomes] == list(range(7))
+
+    def test_matches_per_trial_engine_on_same_seeds(self):
+        """Group g / trial t must equal a lone run on seed (g, 1, t)."""
+        from repro.beeping.rng import RngStream, derive_seed
+        from repro.engine.rules import FeedbackRule
+        from repro.engine.simulator import VectorizedSimulator
+
+        outcomes = self._run(trials=6, graphs=2, master_seed=31)
+        stream = RngStream(31)
+        flat = 0
+        for g in range(2):
+            graph = graph_factory(stream.child(g, 0))
+            simulator = VectorizedSimulator(graph)
+            for t in range(3):
+                lone = simulator.run(FeedbackRule(), derive_seed(31, g, 1, t))
+                assert outcomes[flat].rounds == lone.rounds
+                assert outcomes[flat].mis_size == len(lone.mis)
+                expected_bits = sum(
+                    int(lone.beeps_by_node[v]) * graph.degree(v)
+                    for v in graph.vertices()
+                )
+                assert outcomes[flat].bits == expected_bits
+                flat += 1
+
+    def test_graph_seed_independent_of_trial_seeds(self):
+        """The graph draw path (g, 0) must not collide with any trial path."""
+        from repro.beeping.rng import RngStream, derive_seed_block
+
+        stream = RngStream(21)
+        graph_seed = stream.child_seed(0, 0)
+        trial_seeds = {int(s) for s in derive_seed_block(21, 0, 1, count=16)}
+        assert graph_seed not in trial_seeds
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="trials"):
+            self._run(trials=0)
+        with pytest.raises(ValueError, match="graphs"):
+            self._run(graphs=0)
