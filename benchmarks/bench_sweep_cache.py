@@ -1,0 +1,65 @@
+"""Warm-cache figure regeneration vs. cold compute.
+
+The sweep subsystem's reason to exist: every paper figure is a grid of
+(size, rule) cells, and regenerating one against a warm content-addressed
+store is pure disk lookup — no simulation at all.  This bench runs the
+Figure 3 driver cold (empty store, every shard executed) and then warm
+(same spec, zero shards executed) and asserts the ISSUE's acceptance
+floor: warm regeneration at least 10x faster than cold.
+
+Run with ``pytest benchmarks/bench_sweep_cache.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import report
+from repro.experiments.figures import figure3_series
+from repro.experiments.tables import format_table
+
+SIZES = (100, 150, 200)
+TRIALS = 50
+MASTER_SEED = 1303
+SPEEDUP_FLOOR = 10.0
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_warm_cache_figure_regeneration_floor(tmp_path):
+    cache = tmp_path / "sweep-cache"
+
+    def regenerate():
+        return figure3_series(
+            sizes=SIZES,
+            trials=TRIALS,
+            graphs_per_size=2,
+            master_seed=MASTER_SEED,
+            cache_dir=cache,
+        )
+
+    cold, cold_seconds = _timed(regenerate)
+    warm, warm_seconds = _timed(regenerate)
+
+    speedup = cold_seconds / max(warm_seconds, 1e-9)
+    rows = [
+        ["cold (execute + store)", f"{cold_seconds * 1000:.1f}"],
+        ["warm (store only)", f"{warm_seconds * 1000:.1f}"],
+        ["speedup", f"{speedup:.1f}x"],
+    ]
+    report(
+        "Sweep store: warm-cache Figure 3 regeneration "
+        f"(sizes={SIZES}, trials={TRIALS})",
+        format_table(["run", "ms"], rows),
+    )
+
+    # The warm pass must be a pure cache read producing identical numbers.
+    assert warm.points == cold.points
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"warm-cache regeneration only {speedup:.1f}x faster than cold "
+        f"(floor {SPEEDUP_FLOOR}x)"
+    )

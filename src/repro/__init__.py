@@ -23,6 +23,8 @@ Packages
 - :mod:`repro.bio` — the Notch–Delta lateral-inhibition substrate.
 - :mod:`repro.analysis` — statistics, regression fits, theory curves.
 - :mod:`repro.experiments` — trial runner and per-figure drivers.
+- :mod:`repro.sweep` — sharded sweep orchestrator with a
+  content-addressed on-disk result store.
 - :mod:`repro.viz` — ASCII plots and graph rendering.
 """
 

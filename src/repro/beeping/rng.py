@@ -51,13 +51,17 @@ def derive_seed(master_seed: int, *path: int) -> int:
     return _chain(master_seed, path)
 
 
-def derive_seed_block(master_seed: int, *path: int, count: int):
-    """Seeds for paths ``path + (0,)`` .. ``path + (count - 1,)`` at once.
+def derive_seed_block(master_seed: int, *path: int, count: int, start: int = 0):
+    """Seeds for paths ``path + (start,)`` .. ``path + (start+count-1,)``.
 
     This is the fleet engine's seed contract: entry ``t`` of the returned
-    ``uint64`` array equals ``derive_seed(master_seed, *path, t)`` bit for
-    bit, so a trial-parallel batch consumes exactly the seeds the per-trial
-    loop would, and the two are interchangeable under one master seed.
+    ``uint64`` array equals ``derive_seed(master_seed, *path, start + t)``
+    bit for bit, so a trial-parallel batch consumes exactly the seeds the
+    per-trial loop would, and the two are interchangeable under one master
+    seed.  ``start`` lets a *shard* of a larger batch derive only its own
+    trailing-index window: concatenating shard blocks over consecutive
+    offsets reproduces the unsharded block exactly, which is what makes a
+    sharded sweep bit-identical to the sequential loop.
 
     Implemented as one vectorised splitmix64 step over the trailing index
     (numpy is imported lazily so the reference engine stays stdlib-only).
@@ -66,14 +70,19 @@ def derive_seed_block(master_seed: int, *path: int, count: int):
     >>> seeds = derive_seed_block(42, 3, count=4)
     >>> all(int(seeds[t]) == derive_seed(42, 3, t) for t in range(4))
     True
+    >>> shard = derive_seed_block(42, 3, count=2, start=2)
+    >>> [int(s) for s in shard] == [int(s) for s in seeds[2:]]
+    True
     """
     if count < 0:
         raise ValueError(f"count must be >= 0, got {count}")
+    if start < 0:
+        raise ValueError(f"start must be >= 0, got {start}")
     import numpy as np
 
     state = _chain(master_seed, path)
     gamma = np.uint64(_GOLDEN_GAMMA)
-    trailing = np.arange(count, dtype=np.uint64)
+    trailing = np.arange(start, start + count, dtype=np.uint64)
     z = (np.uint64(state) ^ (trailing * gamma)) + gamma
     z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
     z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)

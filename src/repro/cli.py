@@ -5,9 +5,14 @@ Subcommands
 - ``run``      — run one algorithm on one generated graph and report.
 - ``figure3``  — regenerate the Figure 3 series (rounds vs n) and plot it.
 - ``figure5``  — regenerate the Figure 5 series (beeps per node vs n).
+- ``sweep``    — sharded, cached experiment grids (algorithms × sizes).
 - ``theorem1`` — the lower-bound experiment on the clique family.
 - ``bio``      — run the Notch–Delta lattice model and report the pattern.
 - ``list``     — list the registered algorithms.
+
+``figure3``, ``figure5``, ``sizes`` and ``sweep`` accept ``--jobs`` (shard
+execution over worker processes) and ``--cache-dir`` (serve already-stored
+shards from the content-addressed result store); neither affects results.
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ from random import Random
 from typing import List, Optional
 
 from repro.algorithms.registry import available_algorithms, make_algorithm
-from repro.beeping.rng import spawn_rng
+from repro.beeping.rng import derive_seed, spawn_rng
 from repro.experiments.figures import figure3_series, figure5_series
 from repro.experiments.lower_bound import theorem1_experiment
 from repro.experiments.records import results_to_csv
@@ -26,6 +31,18 @@ from repro.experiments.tables import format_experiment
 from repro.graphs.random_graphs import gnp_random_graph
 from repro.graphs.structured import grid_graph, hex_lattice_graph
 from repro.viz.ascii_plots import plot_experiment
+
+
+def _add_sweep_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    """The execution knobs shared by every orchestrator-backed command."""
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for cache-missing shards (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result store; reruns are served from it",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -53,12 +70,14 @@ def _build_parser() -> argparse.ArgumentParser:
     fig3.add_argument("--max-n", type=int, default=500)
     fig3.add_argument("--seed", type=int, default=1303)
     fig3.add_argument("--csv", action="store_true", help="emit CSV only")
+    _add_sweep_execution_arguments(fig3)
 
     fig5 = sub.add_parser("figure5", help="beeps per node vs n (Figure 5)")
     fig5.add_argument("--trials", type=int, default=50)
     fig5.add_argument("--max-n", type=int, default=200)
     fig5.add_argument("--seed", type=int, default=1305)
     fig5.add_argument("--csv", action="store_true", help="emit CSV only")
+    _add_sweep_execution_arguments(fig5)
 
     thm1 = sub.add_parser("theorem1", help="lower-bound clique family")
     thm1.add_argument("--max-side", type=int, default=10)
@@ -76,6 +95,38 @@ def _build_parser() -> argparse.ArgumentParser:
     sizes.add_argument("--edge-probability", type=float, default=0.3)
     sizes.add_argument("--trials", type=int, default=15)
     sizes.add_argument("--seed", type=int, default=1701)
+    _add_sweep_execution_arguments(sizes)
+
+    sweep = sub.add_parser(
+        "sweep", help="sharded, cached sweep of algorithms x sizes"
+    )
+    sweep.add_argument(
+        "--algorithms", nargs="+", default=["feedback", "afek-sweep"],
+        metavar="NAME",
+        help="algorithm names (fleet rules or registry algorithms)",
+    )
+    sweep.add_argument(
+        "--engine", choices=("fleet", "reference"), default="fleet"
+    )
+    sweep.add_argument("--family", choices=("gnp", "grid"), default="gnp")
+    sweep.add_argument(
+        "--sizes", nargs="+", type=int, default=[50, 100, 200], metavar="N",
+        help="graph sizes (grid family: side lengths)",
+    )
+    sweep.add_argument("--edge-probability", type=float, default=0.5)
+    sweep.add_argument("--trials", type=int, default=32)
+    sweep.add_argument(
+        "--graphs", type=int, default=1,
+        help="fleet engine: independent graphs per cell",
+    )
+    sweep.add_argument(
+        "--quantity", choices=("rounds", "beeps", "mis-size"),
+        default="rounds",
+    )
+    sweep.add_argument("--seed", type=int, default=1900)
+    sweep.add_argument("--shard-trials", type=int, default=32)
+    sweep.add_argument("--csv", action="store_true", help="emit CSV only")
+    _add_sweep_execution_arguments(sweep)
 
     color = sub.add_parser("color", help="(Delta+1)-colouring by MIS peeling")
     color.add_argument("--nodes", type=int, default=60)
@@ -149,6 +200,8 @@ def _command_figure3(args: argparse.Namespace) -> int:
         sizes=_sizes_up_to(args.max_n),
         trials=args.trials,
         master_seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
     if args.csv:
         print(results_to_csv(result), end="")
@@ -164,6 +217,8 @@ def _command_figure5(args: argparse.Namespace) -> int:
         sizes=_sizes_up_to(args.max_n, minimum=10),
         trials=args.trials,
         master_seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
     if args.csv:
         print(results_to_csv(result), end="")
@@ -171,6 +226,72 @@ def _command_figure5(args: argparse.Namespace) -> int:
     print(format_experiment(result))
     print()
     print(plot_experiment(result, y_label="beeps/node"))
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.records import ExperimentResult
+    from repro.sweep.aggregate import cell_point
+    from repro.sweep.orchestrator import run_sweep
+    from repro.sweep.spec import CellSpec, SweepSpec
+
+    quantity = args.quantity.replace("-", "_")
+    cells = []
+    for size_index, size in enumerate(args.sizes):
+        if args.family == "gnp":
+            family = {
+                "family": "gnp",
+                "n": size,
+                "edge_probability": args.edge_probability,
+            }
+        else:
+            family = {"family": "grid", "rows": size, "cols": size}
+        for name in args.algorithms:
+            # One master seed per size, shared by every algorithm: in
+            # reference mode all algorithms then see identical graphs
+            # (paired comparisons); cells stay distinct via `algorithm`.
+            cells.append(
+                CellSpec(
+                    algorithm=name,
+                    engine=args.engine,
+                    trials=args.trials,
+                    graphs=args.graphs,
+                    master_seed=derive_seed(args.seed, size_index),
+                    **family,
+                )
+            )
+    spec = SweepSpec(tuple(cells), shard_trials=args.shard_trials)
+    sweep = run_sweep(spec, store=args.cache_dir, jobs=args.jobs)
+    points = [cell_point(cell, sweep.rows(cell), quantity) for cell in cells]
+    result = ExperimentResult(
+        experiment="sweep",
+        points=points,
+        master_seed=args.seed,
+        parameters={
+            "engine": args.engine,
+            "family": args.family,
+            "sizes": list(args.sizes),
+            "trials": args.trials,
+            "graphs": args.graphs,
+            "quantity": quantity,
+            **(
+                {"edge_probability": args.edge_probability}
+                if args.family == "gnp"
+                else {}
+            ),
+        },
+    )
+    cache = args.cache_dir if args.cache_dir else "none"
+    summary = f"# {sweep.report.summary()} cache={cache}"
+    if args.csv:
+        # Keep stdout pure CSV (byte-stable, parseable); report on stderr.
+        print(results_to_csv(result), end="")
+        print(summary, file=sys.stderr)
+    else:
+        print(format_experiment(result))
+        print()
+        print(plot_experiment(result, y_label=quantity))
+        print(summary)
     return 0
 
 
@@ -215,6 +336,8 @@ def _command_sizes(args: argparse.Namespace) -> int:
         edge_probability=args.edge_probability,
         trials=args.trials,
         master_seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
     rows = [
         [
@@ -352,6 +475,7 @@ _COMMANDS = {
     "run": _command_run,
     "figure3": _command_figure3,
     "figure5": _command_figure5,
+    "sweep": _command_sweep,
     "theorem1": _command_theorem1,
     "bio": _command_bio,
     "sizes": _command_sizes,

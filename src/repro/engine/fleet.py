@@ -145,7 +145,11 @@ class FleetSimulator:
             return counts > 0.0
         if self._columns.size == 0:
             return np.zeros((k, n), dtype=bool)
-        gathered = flags[:, self._columns].astype(np.int32)
+        # One trailing zero column keeps every (unclamped) start in range,
+        # so trailing empty segments never truncate the last real segment
+        # (see build_csr).
+        gathered = np.zeros((k, self._columns.size + 1), dtype=np.int32)
+        gathered[:, :-1] = flags[:, self._columns]
         sums = np.add.reduceat(gathered, self._starts, axis=1)
         result = sums > 0
         result[:, self._isolated] = False

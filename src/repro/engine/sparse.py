@@ -31,12 +31,15 @@ def build_csr(graph: Graph) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """CSR neighbour lists of ``graph``: ``(columns, starts, isolated)``.
 
     ``columns`` concatenates each vertex's neighbour list; ``starts`` holds
-    the per-vertex segment starts, pre-clamped into ``columns``' index
-    range so they can be fed straight to ``np.add.reduceat`` (empty
-    segments — isolated vertices — would otherwise index one past the
-    end; their reduceat output is garbage either way and must be masked
-    with ``isolated``).  Shared by :class:`SparseSimulator` and the fleet
-    engine's sparse backend so the two stay structurally identical.
+    the *unclamped* per-vertex segment starts (``starts[v] ==
+    columns.size`` for a trailing run of isolated vertices).  Consumers
+    must therefore pad the gathered flag array with one trailing zero
+    before ``np.add.reduceat`` so every start is a valid index — clamping
+    the starts instead would silently truncate the last non-empty
+    vertex's segment and drop beeps from its highest-index neighbours.
+    Empty segments (isolated vertices) still produce garbage sums and are
+    masked with ``isolated``.  Shared by :class:`SparseSimulator` and the
+    fleet engine's sparse backend so the two stay structurally identical.
     """
     n = graph.num_vertices
     degrees = np.fromiter(
@@ -52,9 +55,7 @@ def build_csr(graph: Graph) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         neighbors = graph.neighbors(v)
         columns[cursor:cursor + len(neighbors)] = neighbors
         cursor += len(neighbors)
-    starts = offsets[:-1].copy()
-    np.clip(starts, 0, max(columns.size - 1, 0), out=starts)
-    return columns, starts, degrees == 0
+    return columns, offsets[:-1].copy(), degrees == 0
 
 
 class SparseSimulator:
@@ -80,7 +81,10 @@ class SparseSimulator:
             return np.zeros(0, dtype=bool)
         if self._columns.size == 0:
             return np.zeros(n, dtype=bool)
-        gathered = flags[self._columns].astype(np.int64)
+        # One trailing zero keeps every (unclamped) start in range, so
+        # trailing empty segments never truncate the last real segment.
+        gathered = np.zeros(self._columns.size + 1, dtype=np.int64)
+        gathered[:-1] = flags[self._columns]
         # reduceat over CSR segments; empty segments (isolated vertices)
         # yield garbage, masked out below.
         sums = np.add.reduceat(gathered, self._starts)

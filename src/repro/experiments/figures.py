@@ -10,36 +10,36 @@
 - :func:`grid_beeps_series` — the Section 5 text claim: mean beeps per
   node ≈ 1.1 on rectangular grid graphs, independent of size.
 
-All drivers run on the vectorised engines — by default the trial-parallel
-fleet engine, which evaluates every trial of a (size, rule) point in one
-lockstep batch (Figure 3 reaches n = 1000 with 100 trials per point, far
-beyond what the per-node reference engine does in reasonable time) — and
-derive every seed from one master seed, so results are identical under
-``engine="fleet"`` and ``engine="loop"``.
+All series drivers go through the sweep orchestrator
+(:mod:`repro.sweep`): each (size, rule) point is one fleet-engine
+:class:`~repro.sweep.spec.CellSpec`, sharded across worker processes when
+``jobs > 1`` and served from the content-addressed result store when
+``cache_dir`` is set — regenerating a figure against a warm cache executes
+zero shards.  Every seed derives from one master seed and results are
+independent of ``jobs``, ``cache_dir`` and shard width.
 """
 
 from __future__ import annotations
 
-from random import Random
-from typing import Callable, List, Sequence, Set, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.analysis.theory import (
     figure3_feedback_reference,
     figure3_sweep_reference,
 )
 from repro.beeping.rng import derive_seed, spawn_rng
-from repro.engine.batch import run_batch
-from repro.engine.rules import FeedbackRule, ProbabilityRule, SweepRule
 from repro.experiments.records import ExperimentResult, SeriesPoint
 from repro.graphs.graph import Graph
 from repro.graphs.random_graphs import gnp_random_graph
-from repro.graphs.structured import grid_graph
 from repro.graphs.validation import verify_mis
+
+PathLike = Union[str, Path]
 
 DEFAULT_FIGURE3_SIZES = (50, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000)
 DEFAULT_FIGURE5_SIZES = (10, 25, 50, 75, 100, 125, 150, 175, 200)
 
-_RULES: Tuple[Callable[[], ProbabilityRule], ...] = (FeedbackRule, SweepRule)
+_RULE_NAMES = ("feedback", "afek-sweep")
 
 
 def figure1_example(seed: int = 20, edge_probability: float = 0.15) -> Tuple[Graph, Set[int]]:
@@ -58,55 +58,57 @@ def figure1_example(seed: int = 20, edge_probability: float = 0.15) -> Tuple[Gra
 
 def _beeping_series(
     experiment: str,
-    graphs_for_size: Callable[[int, int], List[Graph]],
+    family_for_size: Callable[[int], Dict[str, int]],
     sizes: Sequence[int],
     trials: int,
     master_seed: int,
     quantity: str,
     validate: bool,
-    engine: str = "auto",
+    graphs_per_size: int,
+    jobs: int = 1,
+    cache_dir: Optional[PathLike] = None,
+    shard_trials: Optional[int] = None,
 ) -> ExperimentResult:
-    """Shared sweep: both algorithms over sizes, extracting one quantity."""
+    """Shared sweep: both algorithms over sizes, extracting one quantity.
+
+    Every cell of one size shares the master seed
+    ``derive_seed(master_seed, size_index)``: both rules then draw
+    *identical* graphs (the graph path ``(g, 0)`` depends only on the
+    cell master seed), keeping the feedback-vs-sweep comparison paired —
+    a hard outlier graph hits both series, not one.  ``trials`` are
+    spread over ``graphs_per_size`` lockstep fleet groups per cell.
+    """
+    # Imported here, not at module scope: repro.sweep's modules consume
+    # repro.experiments.records/runner, so a top-level import would cycle.
+    from repro.sweep.aggregate import cell_point
+    from repro.sweep.orchestrator import run_sweep
+    from repro.sweep.spec import CellSpec, SweepSpec
+
     if quantity not in ("rounds", "beeps"):
         raise ValueError(f"quantity must be 'rounds' or 'beeps', got {quantity}")
-    points: List[SeriesPoint] = []
-    for size_index, n in enumerate(sizes):
-        graphs = graphs_for_size(n, size_index)
-        for rule_index, rule_factory in enumerate(_RULES):
-            all_values: List[float] = []
-            rule_name = rule_factory().name
-            per_graph = max(1, trials // len(graphs))
-            for graph_index, graph in enumerate(graphs):
-                batch = run_batch(
-                    graph,
-                    rule_factory,
-                    per_graph,
-                    derive_seed(master_seed, size_index, rule_index),
-                    graph_index=graph_index,
+    cells: List[CellSpec] = []
+    for size_index in range(len(sizes)):
+        family = family_for_size(size_index)
+        for rule_name in _RULE_NAMES:
+            cells.append(
+                CellSpec(
+                    algorithm=rule_name,
+                    engine="fleet",
+                    trials=trials,
+                    graphs=graphs_per_size,
+                    master_seed=derive_seed(master_seed, size_index),
                     validate=validate,
-                    engine=engine,
-                )
-                if quantity == "rounds":
-                    all_values.extend(float(r) for r in batch.rounds)
-                else:
-                    all_values.extend(float(b) for b in batch.mean_beeps)
-            mean = sum(all_values) / len(all_values)
-            if len(all_values) > 1:
-                variance = sum((v - mean) ** 2 for v in all_values) / (
-                    len(all_values) - 1
-                )
-                std = variance ** 0.5
-            else:
-                std = 0.0
-            points.append(
-                SeriesPoint(
-                    series=rule_name,
-                    x=float(n),
-                    mean=mean,
-                    std=std,
-                    trials=len(all_values),
+                    **family,
                 )
             )
+    spec = SweepSpec(
+        tuple(cells),
+        shard_trials=shard_trials if shard_trials is not None else 32,
+    )
+    sweep = run_sweep(spec, store=cache_dir, jobs=jobs)
+    points = [
+        cell_point(cell, sweep.rows(cell), quantity) for cell in cells
+    ]
     return ExperimentResult(
         experiment=experiment,
         points=points,
@@ -122,35 +124,38 @@ def figure3_series(
     master_seed: int = 1303,
     graphs_per_size: int = 5,
     validate: bool = False,
-    engine: str = "auto",
+    jobs: int = 1,
+    cache_dir: Optional[PathLike] = None,
+    shard_trials: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 3: mean rounds vs n on ``G(n, edge_probability)``.
 
     ``trials`` simulations per (size, algorithm) are spread over
     ``graphs_per_size`` independently drawn graphs.  The result additionally
     carries the two reference curves as zero-std series named
-    ``"log2_squared"`` and ``"2.5_log2"``.
+    ``"log2_squared"`` and ``"2.5_log2"``.  ``jobs`` shards the sweep over
+    worker processes; ``cache_dir`` enables the on-disk result store.
     """
 
-    def graphs_for_size(n: int, size_index: int) -> List[Graph]:
-        return [
-            gnp_random_graph(
-                n,
-                edge_probability,
-                spawn_rng(master_seed, 0xF163, size_index, g),
-            )
-            for g in range(graphs_per_size)
-        ]
+    def family_for_size(size_index: int) -> Dict[str, int]:
+        return {
+            "family": "gnp",
+            "n": sizes[size_index],
+            "edge_probability": edge_probability,
+        }
 
     result = _beeping_series(
         "figure3",
-        graphs_for_size,
+        family_for_size,
         sizes,
         trials,
         master_seed,
         "rounds",
         validate,
-        engine=engine,
+        graphs_per_size,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        shard_trials=shard_trials,
     )
     for n in sizes:
         result.points.append(
@@ -170,29 +175,31 @@ def figure5_series(
     master_seed: int = 1305,
     graphs_per_size: int = 5,
     validate: bool = False,
-    engine: str = "auto",
+    jobs: int = 1,
+    cache_dir: Optional[PathLike] = None,
+    shard_trials: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 5: mean beeps per node vs n on ``G(n, edge_probability)``."""
 
-    def graphs_for_size(n: int, size_index: int) -> List[Graph]:
-        return [
-            gnp_random_graph(
-                n,
-                edge_probability,
-                spawn_rng(master_seed, 0xF165, size_index, g),
-            )
-            for g in range(graphs_per_size)
-        ]
+    def family_for_size(size_index: int) -> Dict[str, int]:
+        return {
+            "family": "gnp",
+            "n": sizes[size_index],
+            "edge_probability": edge_probability,
+        }
 
     result = _beeping_series(
         "figure5",
-        graphs_for_size,
+        family_for_size,
         sizes,
         trials,
         master_seed,
         "beeps",
         validate,
-        engine=engine,
+        graphs_per_size,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        shard_trials=shard_trials,
     )
     result.parameters["edge_probability"] = edge_probability
     return result
@@ -203,7 +210,9 @@ def grid_beeps_series(
     trials: int = 100,
     master_seed: int = 1306,
     validate: bool = False,
-    engine: str = "auto",
+    jobs: int = 1,
+    cache_dir: Optional[PathLike] = None,
+    shard_trials: Optional[int] = None,
 ) -> ExperimentResult:
     """Mean beeps per node of the feedback algorithm on square grids.
 
@@ -211,20 +220,23 @@ def grid_beeps_series(
     the measured value stays flat and close to that.
     """
 
-    def graphs_for_size(n: int, size_index: int) -> List[Graph]:
+    def family_for_size(size_index: int) -> Dict[str, int]:
         side = side_lengths[size_index]
-        return [grid_graph(side, side)]
+        return {"family": "grid", "rows": side, "cols": side}
 
     sizes = [side * side for side in side_lengths]
     result = _beeping_series(
         "grid-beeps",
-        graphs_for_size,
+        family_for_size,
         sizes,
         trials,
         master_seed,
         "beeps",
         validate,
-        engine=engine,
+        graphs_per_size=1,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        shard_trials=shard_trials,
     )
     result.parameters["side_lengths"] = list(side_lengths)
     return result

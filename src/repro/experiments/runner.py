@@ -8,13 +8,19 @@ Two runners share the :class:`TrialOutcome` record:
 - :func:`run_fleet_trials` drives the trial-parallel fleet engine for
   fault-free vectorised workloads: trials are grouped per graph and each
   group is one lockstep :class:`~repro.engine.fleet.FleetSimulator` batch.
+
+Both accept a ``trial_range=(lo, hi)`` window: only global trials
+``lo .. hi-1`` are executed, with exactly the seeds they would consume in
+the full run.  Concatenating the outcomes of a partition of ``[0, trials)``
+therefore reproduces the unsharded run bit for bit — this is the contract
+the sweep orchestrator (:mod:`repro.sweep`) shards on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from random import Random
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -39,6 +45,23 @@ class TrialOutcome:
     bits: int
 
 
+def _resolve_trial_range(
+    trials: int, trial_range: Optional[Tuple[int, int]]
+) -> Tuple[int, int]:
+    """Validate and default a ``(lo, hi)`` window over ``[0, trials)``."""
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if trial_range is None:
+        return 0, trials
+    lo, hi = trial_range
+    if not 0 <= lo < hi <= trials:
+        raise ValueError(
+            f"trial_range must satisfy 0 <= lo < hi <= {trials}, "
+            f"got ({lo}, {hi})"
+        )
+    return lo, hi
+
+
 def run_trials(
     algorithm_factory: AlgorithmFactory,
     graph_factory: GraphFactory,
@@ -47,18 +70,19 @@ def run_trials(
     faults: FaultModel = NO_FAULTS,
     validate: bool = True,
     max_rounds: int = 100_000,
+    trial_range: Optional[Tuple[int, int]] = None,
 ) -> List[TrialOutcome]:
     """Run ``trials`` independent (graph, algorithm) trials.
 
     Each trial draws a fresh graph and a fresh algorithm instance with
     independently derived seeds, so trials are exchangeable and the whole
-    batch is reproducible from ``master_seed``.
+    batch is reproducible from ``master_seed``.  ``trial_range`` restricts
+    execution to global trials ``lo .. hi-1`` without changing any seed.
     """
-    if trials < 1:
-        raise ValueError(f"trials must be >= 1, got {trials}")
+    lo, hi = _resolve_trial_range(trials, trial_range)
     stream = RngStream(master_seed)
     outcomes: List[TrialOutcome] = []
-    for trial in range(trials):
+    for trial in range(lo, hi):
         graph = graph_factory(stream.child(trial, 0))
         algorithm = algorithm_factory()
         run = algorithm.run(
@@ -90,6 +114,7 @@ def run_fleet_trials(
     graphs: int = 1,
     validate: bool = True,
     max_rounds: int = 100_000,
+    trial_range: Optional[Tuple[int, int]] = None,
 ) -> List[TrialOutcome]:
     """Run ``trials`` fault-free trials on the trial-parallel fleet engine.
 
@@ -101,33 +126,46 @@ def run_fleet_trials(
     outcomes are reproducible and identical to a per-trial loop over the
     same seeds.  Beep accounting mirrors the reference engine's: a beep is
     one 1-bit message per incident channel.
+
+    ``trial_range=(lo, hi)`` executes only the global trials ``lo .. hi-1``.
+    The graph grouping is always computed from the *full* ``(trials,
+    graphs)`` pair and seeds come from each group's own offset window, so a
+    window's outcomes equal the corresponding slice of the full run.
     """
     from repro.beeping.rng import derive_seed_block
     from repro.engine.fleet import FleetSimulator
 
-    if trials < 1:
-        raise ValueError(f"trials must be >= 1, got {trials}")
     if graphs < 1:
         raise ValueError(f"graphs must be >= 1, got {graphs}")
+    lo, hi = _resolve_trial_range(trials, trial_range)
     stream = RngStream(master_seed)
     per_graph = [trials // graphs] * graphs
     for extra in range(trials % graphs):
         per_graph[extra] += 1
     outcomes: List[TrialOutcome] = []
-    trial_index = 0
+    group_start = 0
     for graph_index, group_trials in enumerate(per_graph):
-        if group_trials == 0:
+        group_lo = max(lo, group_start)
+        group_hi = min(hi, group_start + group_trials)
+        if group_lo >= group_hi:
+            group_start += group_trials
             continue
         graph = graph_factory(stream.child(graph_index, 0))
         degrees = np.array(graph.degrees(), dtype=np.int64)
         simulator = FleetSimulator(graph, max_rounds=max_rounds)
-        seeds = derive_seed_block(master_seed, graph_index, 1, count=group_trials)
+        seeds = derive_seed_block(
+            master_seed,
+            graph_index,
+            1,
+            count=group_hi - group_lo,
+            start=group_lo - group_start,
+        )
         run = simulator.run_fleet(rule_factory(), seeds, validate=validate)
-        for t in range(group_trials):
+        for t in range(group_hi - group_lo):
             channel_bits = int((run.beeps_by_node[t] * degrees).sum())
             outcomes.append(
                 TrialOutcome(
-                    trial=trial_index,
+                    trial=group_lo + t,
                     rounds=int(run.rounds[t]),
                     mis_size=int(run.membership[t].sum()),
                     mean_beeps_per_node=float(run.mean_beeps[t]),
@@ -135,5 +173,5 @@ def run_fleet_trials(
                     bits=channel_bits,
                 )
             )
-            trial_index += 1
+        group_start += group_trials
     return outcomes

@@ -6,17 +6,25 @@ is NP-hard.  This experiment quantifies where each algorithm's MIS sizes
 fall: mean size per algorithm on a common workload, plus — on graphs small
 enough for the exact branch-and-bound solver — the fraction of the optimum
 achieved.
+
+Execution goes through the sweep orchestrator (:mod:`repro.sweep`): one
+reference-engine cell per algorithm, all under the *same* master seed, so
+trial ``t`` of every algorithm runs on the identical graph (drawn on seed
+path ``(t, 0)``) and the optimum comparison stays paired.  ``jobs`` shards
+the work over processes and ``cache_dir`` reuses stored trial rows.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.algorithms.exact import MAX_EXACT_VERTICES, maximum_independent_set
-from repro.algorithms.registry import make_algorithm
-from repro.beeping.rng import spawn_rng
+from repro.beeping.rng import RngStream
 from repro.experiments.records import ExperimentResult, SeriesPoint
 from repro.graphs.random_graphs import gnp_random_graph
+
+PathLike = Union[str, Path]
 
 DEFAULT_ALGORITHMS = (
     "feedback",
@@ -33,48 +41,72 @@ def mis_size_experiment(
     algorithm_names: Sequence[str] = DEFAULT_ALGORITHMS,
     master_seed: int = 1701,
     include_optimum: Optional[bool] = None,
+    jobs: int = 1,
+    cache_dir: Optional[PathLike] = None,
+    shard_trials: Optional[int] = None,
 ) -> ExperimentResult:
     """Mean MIS size per algorithm over ``trials`` G(n, p) graphs.
 
     When the graphs are small enough (or ``include_optimum`` forces it),
     each point's ``extra["optimum_ratio"]`` records mean(size / optimum).
     """
+    from repro.sweep.aggregate import summarize
+    from repro.sweep.orchestrator import run_sweep
+    from repro.sweep.spec import CellSpec, SweepSpec
+
     if include_optimum is None:
         include_optimum = n <= MAX_EXACT_VERTICES
     if include_optimum and n > MAX_EXACT_VERTICES:
         raise ValueError(
             f"exact optimum needs n <= {MAX_EXACT_VERTICES}, got {n}"
         )
-    graphs = [
-        gnp_random_graph(
-            n, edge_probability, spawn_rng(master_seed, 0x517E, t)
+    cells = tuple(
+        CellSpec(
+            algorithm=name,
+            engine="reference",
+            family="gnp",
+            n=n,
+            edge_probability=edge_probability,
+            trials=trials,
+            master_seed=master_seed,
+            validate=True,
         )
-        for t in range(trials)
-    ]
+        for name in algorithm_names
+    )
+    spec = SweepSpec(
+        cells,
+        shard_trials=shard_trials if shard_trials is not None else 32,
+    )
+    sweep = run_sweep(spec, store=cache_dir, jobs=jobs)
+
     optima: List[int] = []
     if include_optimum:
-        optima = [len(maximum_independent_set(graph)) for graph in graphs]
+        # Redraw each trial's graph exactly as the reference runner does
+        # (seed path (t, 0) under the shared master seed) and solve it.
+        stream = RngStream(master_seed)
+        optima = [
+            len(
+                maximum_independent_set(
+                    gnp_random_graph(n, edge_probability, stream.child(t, 0))
+                )
+            )
+            for t in range(trials)
+        ]
 
     points: List[SeriesPoint] = []
-    for index, name in enumerate(algorithm_names):
-        algorithm = make_algorithm(name)
-        sizes: List[int] = []
-        ratios: List[float] = []
-        for t, graph in enumerate(graphs):
-            run = algorithm.run(graph, spawn_rng(master_seed, index, t))
-            run.verify()
-            sizes.append(run.mis_size)
-            if include_optimum and optima[t] > 0:
-                ratios.append(run.mis_size / optima[t])
-        mean = sum(sizes) / len(sizes)
-        if len(sizes) > 1:
-            variance = sum((s - mean) ** 2 for s in sizes) / (len(sizes) - 1)
-            std = variance ** 0.5
-        else:
-            std = 0.0
+    for name, cell in zip(algorithm_names, cells):
+        rows = sweep.rows(cell)
+        sizes = [row.mis_size for row in rows]
+        mean, std = summarize([float(s) for s in sizes])
         extra: Dict[str, float] = {}
-        if ratios:
-            extra["optimum_ratio"] = sum(ratios) / len(ratios)
+        if include_optimum:
+            ratios = [
+                size / optimum
+                for size, optimum in zip(sizes, optima)
+                if optimum > 0
+            ]
+            if ratios:
+                extra["optimum_ratio"] = sum(ratios) / len(ratios)
         points.append(
             SeriesPoint(
                 series=name,

@@ -1,0 +1,55 @@
+"""Sharded sweep orchestration with a content-addressed result store.
+
+Three layers (see ``docs/sweep.md`` for the full picture):
+
+- :mod:`~repro.sweep.spec` — frozen, hashable :class:`SweepSpec` /
+  :class:`CellSpec` / :class:`ShardSpec` grid descriptions; every shard
+  has a stable content hash over exactly what determines its rows.
+- :mod:`~repro.sweep.store` — :class:`ResultStore`, an on-disk cache
+  mapping shard hash → JSONL of trial rows plus a provenance manifest,
+  with atomic writes and a ``get_or_run`` resume path.
+- :mod:`~repro.sweep.orchestrator` — :func:`run_sweep`, which executes
+  cache-missing shards on a process pool (each worker driving the fleet
+  or reference engine) and assembles rows bit-identical to the
+  sequential runner calls.
+
+:mod:`~repro.sweep.aggregate` folds stored rows back into the existing
+``SeriesPoint`` / ``ExperimentResult`` record schema.
+"""
+
+from repro.sweep.aggregate import QUANTITIES, cell_point, outcome_value, summarize
+from repro.sweep.orchestrator import (
+    SweepReport,
+    SweepResult,
+    execute_shard,
+    run_sweep,
+)
+from repro.sweep.spec import (
+    FLEET_RULES,
+    SPEC_FORMAT_VERSION,
+    CellSpec,
+    ShardSpec,
+    SweepSpec,
+    canonical_json,
+)
+from repro.sweep.store import STORE_FORMAT_VERSION, ResultStore, ShardManifest
+
+__all__ = [
+    "CellSpec",
+    "FLEET_RULES",
+    "QUANTITIES",
+    "ResultStore",
+    "SPEC_FORMAT_VERSION",
+    "STORE_FORMAT_VERSION",
+    "ShardManifest",
+    "ShardSpec",
+    "SweepReport",
+    "SweepResult",
+    "SweepSpec",
+    "canonical_json",
+    "cell_point",
+    "execute_shard",
+    "outcome_value",
+    "run_sweep",
+    "summarize",
+]

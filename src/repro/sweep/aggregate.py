@@ -1,0 +1,68 @@
+"""From stored trial rows back to the experiment record schema.
+
+The sweep subsystem deliberately stores *rows* (one
+:class:`~repro.experiments.runner.TrialOutcome` per trial) rather than
+aggregates, so any summary can be recomputed from cache without rerunning
+simulations.  This module is the bridge to the existing
+:class:`~repro.experiments.records.SeriesPoint` /
+:class:`~repro.experiments.records.ExperimentResult` schema —
+``records.py``, the tables and the report generator stay unchanged
+consumers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.records import SeriesPoint
+from repro.experiments.runner import TrialOutcome
+from repro.sweep.spec import CellSpec
+
+#: Quantities a cell's rows can be summarised over.
+QUANTITIES = ("rounds", "beeps", "mis_size")
+
+
+def outcome_value(outcome: TrialOutcome, quantity: str) -> float:
+    """One row's value of the requested quantity."""
+    if quantity == "rounds":
+        return float(outcome.rounds)
+    if quantity == "beeps":
+        return float(outcome.mean_beeps_per_node)
+    if quantity == "mis_size":
+        return float(outcome.mis_size)
+    raise ValueError(f"quantity must be one of {QUANTITIES}, got {quantity!r}")
+
+
+def summarize(values: Sequence[float]) -> Tuple[float, float]:
+    """Mean and sample standard deviation (0.0 below two values)."""
+    if not values:
+        raise ValueError("cannot summarize an empty value list")
+    mean = sum(values) / len(values)
+    if len(values) < 2:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    return mean, variance ** 0.5
+
+
+def cell_point(
+    cell: CellSpec,
+    rows: List[TrialOutcome],
+    quantity: str,
+    series: Optional[str] = None,
+    extra: Optional[Dict[str, float]] = None,
+) -> SeriesPoint:
+    """Summarise one cell's rows as one :class:`SeriesPoint`.
+
+    The series name defaults to the cell's algorithm and ``x`` to its
+    graph size, which is what every figure driver wants.
+    """
+    values = [outcome_value(row, quantity) for row in rows]
+    mean, std = summarize(values)
+    return SeriesPoint(
+        series=cell.algorithm if series is None else series,
+        x=float(cell.num_vertices),
+        mean=mean,
+        std=std,
+        trials=len(values),
+        extra=dict(extra) if extra else {},
+    )

@@ -1,0 +1,163 @@
+"""Sharded sweep execution across worker processes.
+
+:func:`run_sweep` takes a :class:`~repro.sweep.spec.SweepSpec`, looks every
+shard up in the :class:`~repro.sweep.store.ResultStore` (when one is
+given), and executes only the misses — inline for ``jobs=1``, else on a
+``ProcessPoolExecutor`` whose workers each run whole shards through the
+fleet or reference engine (:mod:`repro.experiments.runner`).  Because a
+shard derives its seeds from its *global* trial window (via
+``derive_seed_block``'s ``start`` offset), the assembled rows are bit
+identical to the sequential ``run_trials`` / ``run_fleet_trials`` call for
+the same cell, regardless of job count, shard width, cache state or the
+order workers finish in.
+
+Executed shards are written back to the store as they complete, so an
+interrupted sweep resumes from its last finished shard.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.algorithms.registry import make_algorithm
+from repro.experiments.runner import TrialOutcome, run_fleet_trials, run_trials
+from repro.sweep.spec import FLEET_RULES, CellSpec, ShardSpec, SweepSpec
+from repro.sweep.store import PathLike, ResultStore
+
+
+@dataclass
+class SweepReport:
+    """What a sweep actually did (cache hits vs. executed work)."""
+
+    shards_total: int = 0
+    shards_executed: int = 0
+    shards_cached: int = 0
+    seconds_executed: float = 0.0
+
+    def summary(self) -> str:
+        """One human-readable line for CLI output."""
+        return (
+            f"shards: total={self.shards_total} "
+            f"executed={self.shards_executed} "
+            f"cached={self.shards_cached} "
+            f"compute={self.seconds_executed:.3f}s"
+        )
+
+
+@dataclass
+class SweepResult:
+    """Assembled rows of one sweep, keyed by cell, plus its report."""
+
+    spec: SweepSpec
+    outcomes: Dict[CellSpec, List[TrialOutcome]] = field(default_factory=dict)
+    report: SweepReport = field(default_factory=SweepReport)
+
+    def rows(self, cell: CellSpec) -> List[TrialOutcome]:
+        """All trial rows of one cell, in global trial order."""
+        return self.outcomes[cell]
+
+
+def execute_shard(shard: ShardSpec) -> List[TrialOutcome]:
+    """Run one shard's trial window on the engine its cell names.
+
+    This is the worker entry point: it takes only the picklable spec and
+    rebuilds factories locally, so it runs identically inline and in a
+    forked/spawned pool process.
+    """
+    cell = shard.cell
+    window = (shard.lo, shard.hi)
+    if cell.engine == "reference":
+        return run_trials(
+            lambda: make_algorithm(cell.algorithm),
+            cell.graph_factory(),
+            cell.trials,
+            cell.master_seed,
+            faults=cell.fault_model(),
+            validate=cell.validate,
+            max_rounds=cell.max_rounds,
+            trial_range=window,
+        )
+    return run_fleet_trials(
+        FLEET_RULES[cell.algorithm],
+        cell.graph_factory(),
+        cell.trials,
+        cell.master_seed,
+        graphs=cell.graphs,
+        validate=cell.validate,
+        max_rounds=cell.max_rounds,
+        trial_range=window,
+    )
+
+
+def _execute_shard_timed(shard: ShardSpec) -> Tuple[List[TrialOutcome], float]:
+    start = time.perf_counter()
+    rows = execute_shard(shard)
+    return rows, time.perf_counter() - start
+
+
+def run_sweep(
+    spec: SweepSpec,
+    store: Optional[Union[ResultStore, PathLike]] = None,
+    jobs: int = 1,
+) -> SweepResult:
+    """Execute a sweep, serving shards from the store where possible.
+
+    ``jobs`` caps the number of concurrent worker processes; results do
+    not depend on it.  ``store=None`` disables caching entirely.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+
+    shards = spec.shards()
+    report = SweepReport(shards_total=len(shards))
+
+    # Deduplicate by content hash: identical shards (e.g. the same cell
+    # listed twice) execute once and share rows.
+    by_hash: Dict[str, ShardSpec] = {}
+    for shard in shards:
+        by_hash.setdefault(shard.content_hash(), shard)
+
+    rows_by_hash: Dict[str, List[TrialOutcome]] = {}
+    missing: List[ShardSpec] = []
+    for digest, shard in by_hash.items():
+        cached = store.get(shard) if store is not None else None
+        if cached is not None:
+            rows_by_hash[digest] = cached
+            report.shards_cached += 1
+        else:
+            missing.append(shard)
+
+    def record(shard: ShardSpec, rows: List[TrialOutcome], elapsed: float) -> None:
+        rows_by_hash[shard.content_hash()] = rows
+        report.shards_executed += 1
+        report.seconds_executed += elapsed
+        if store is not None:
+            store.put(shard, rows, elapsed_seconds=elapsed)
+
+    if len(missing) > 1 and jobs > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(missing))) as pool:
+            futures = {
+                pool.submit(_execute_shard_timed, shard): shard
+                for shard in missing
+            }
+            for future in as_completed(futures):
+                rows, elapsed = future.result()
+                record(futures[future], rows, elapsed)
+    else:
+        for shard in missing:
+            rows, elapsed = _execute_shard_timed(shard)
+            record(shard, rows, elapsed)
+
+    result = SweepResult(spec=spec, report=report)
+    for cell in spec.cells:
+        assembled: List[TrialOutcome] = []
+        for lo in range(0, cell.trials, spec.shard_trials):
+            hi = min(lo + spec.shard_trials, cell.trials)
+            assembled.extend(rows_by_hash[ShardSpec(cell, lo, hi).content_hash()])
+        result.outcomes[cell] = assembled
+    return result

@@ -1,0 +1,309 @@
+"""Frozen, hashable descriptions of experiment sweeps.
+
+A sweep is a grid of *cells*; a cell is one (algorithm, graph family,
+size, trials, master seed, fault model) point executed either on the
+trial-parallel fleet engine or on the per-node reference engine.  Cells
+split into *shards* — contiguous global-trial windows — and every shard
+has a stable content hash over exactly the fields that determine its
+:class:`~repro.experiments.runner.TrialOutcome` rows.  That hash is the
+key of the on-disk result store (:mod:`repro.sweep.store`); two shards
+with equal hashes are guaranteed to produce identical rows, so cached
+rows can be substituted for execution.
+
+What goes into the hash
+-----------------------
+- the spec format version (bump :data:`SPEC_FORMAT_VERSION` on any change
+  to seed derivation or row semantics — it invalidates every old entry);
+- the cell's execution fingerprint: algorithm, engine, graph family and
+  its parameters, master seed, fault model, ``max_rounds``.
+  For **fleet** cells it also includes ``(trials, graphs)`` because the
+  per-graph grouping (and hence every seed path) depends on them; for
+  **reference** cells the total trial count is *excluded* — trial ``t``
+  depends only on ``master_seed`` and ``t``, so extending a sweep from
+  100 to 200 trials reuses every stored shard of the first 100;
+- the shard's global trial window ``[lo, hi)``.
+
+Deliberately **not** in the hash: job count, shard width of *other*
+shards, store paths, timestamps, ``validate`` (it can only raise, never
+alter a row) — anything that cannot change the rows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from random import Random
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.algorithms.registry import available_algorithms
+from repro.beeping.faults import CrashSchedule, FaultModel
+from repro.engine.rules import FeedbackRule, ProbabilityRule, SweepRule
+from repro.graphs.graph import Graph
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.graphs.structured import grid_graph
+
+#: Bump to invalidate every stored shard (seed or row semantics changed).
+SPEC_FORMAT_VERSION = 1
+
+ENGINES = ("fleet", "reference")
+FAMILIES = ("gnp", "grid")
+
+#: Rules the fleet engine can run by name (all are ``trial_parallel``).
+FLEET_RULES: Dict[str, Callable[[], ProbabilityRule]] = {
+    "feedback": FeedbackRule,
+    "afek-sweep": SweepRule,
+}
+
+
+def canonical_json(payload: Any) -> str:
+    """The one canonical serialisation hashes are computed over."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One grid cell: an algorithm on a graph family at one size.
+
+    ``family="gnp"`` draws ``G(n, edge_probability)``; ``family="grid"``
+    uses a fixed ``rows × cols`` grid (the rng is ignored).  ``engine``
+    selects execution semantics:
+
+    - ``"fleet"`` — :func:`repro.experiments.runner.run_fleet_trials`:
+      ``trials`` spread over ``graphs`` lockstep groups, fault-free only,
+      ``algorithm`` names a :data:`FLEET_RULES` entry.
+    - ``"reference"`` — :func:`repro.experiments.runner.run_trials`: a
+      fresh graph per trial, faults supported, ``algorithm`` names a
+      registry algorithm.
+    """
+
+    algorithm: str
+    engine: str = "fleet"
+    family: str = "gnp"
+    n: int = 0
+    edge_probability: float = 0.5
+    rows: int = 0
+    cols: int = 0
+    trials: int = 1
+    graphs: int = 1
+    master_seed: int = 0
+    beep_loss: float = 0.0
+    spurious_beep: float = 0.0
+    crashes: Tuple[Tuple[int, int], ...] = ()
+    validate: bool = True
+    max_rounds: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
+        if self.family not in FAMILIES:
+            raise ValueError(f"family must be one of {FAMILIES}, got {self.family!r}")
+        if self.family == "gnp":
+            if self.n < 1:
+                raise ValueError(f"gnp family needs n >= 1, got {self.n}")
+            if not 0.0 <= self.edge_probability <= 1.0:
+                raise ValueError(
+                    f"edge_probability must be in [0, 1], got {self.edge_probability}"
+                )
+        else:
+            if self.rows < 1 or self.cols < 1:
+                raise ValueError(
+                    f"grid family needs rows, cols >= 1, got {self.rows}x{self.cols}"
+                )
+        if self.trials < 1:
+            raise ValueError(f"trials must be >= 1, got {self.trials}")
+        if self.graphs < 1:
+            raise ValueError(f"graphs must be >= 1, got {self.graphs}")
+        if self.max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
+        object.__setattr__(
+            self,
+            "crashes",
+            tuple(sorted((int(r), int(v)) for r, v in self.crashes)),
+        )
+        if self.engine == "fleet":
+            if self.algorithm not in FLEET_RULES:
+                raise ValueError(
+                    f"fleet engine supports rules {sorted(FLEET_RULES)}, "
+                    f"got {self.algorithm!r}"
+                )
+            if not self.fault_model().is_fault_free:
+                raise ValueError(
+                    "fleet cells are fault-free; use engine='reference' "
+                    "for fault-injected sweeps"
+                )
+        elif self.algorithm not in available_algorithms():
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"available: {available_algorithms()}"
+            )
+
+    @property
+    def num_vertices(self) -> int:
+        """The graph size (the natural x-axis value of this cell)."""
+        return self.n if self.family == "gnp" else self.rows * self.cols
+
+    def fault_model(self) -> FaultModel:
+        """The cell's fault parameters as a :class:`FaultModel`."""
+        return FaultModel(
+            beep_loss_probability=self.beep_loss,
+            spurious_beep_probability=self.spurious_beep,
+            crash_schedule=CrashSchedule.from_pairs(self.crashes),
+        )
+
+    def graph_factory(self) -> Callable[[Random], Graph]:
+        """A seeded graph factory realising the cell's family."""
+        if self.family == "gnp":
+            n, p = self.n, self.edge_probability
+            return lambda rng: gnp_random_graph(n, p, rng)
+        rows, cols = self.rows, self.cols
+        return lambda _rng: grid_graph(rows, cols)
+
+    def execution_fingerprint(self) -> Dict[str, Any]:
+        """The fields that determine this cell's rows (see module docs)."""
+        fingerprint: Dict[str, Any] = {
+            "algorithm": self.algorithm,
+            "engine": self.engine,
+            "family": self.family,
+            "master_seed": self.master_seed,
+            "beep_loss": self.beep_loss,
+            "spurious_beep": self.spurious_beep,
+            "crashes": [list(pair) for pair in self.crashes],
+            "max_rounds": self.max_rounds,
+        }
+        if self.family == "gnp":
+            fingerprint["n"] = self.n
+            fingerprint["edge_probability"] = self.edge_probability
+        else:
+            fingerprint["rows"] = self.rows
+            fingerprint["cols"] = self.cols
+        if self.engine == "fleet":
+            # The per-graph grouping — and therefore every seed path —
+            # depends on the full (trials, graphs) pair.
+            fingerprint["trials"] = self.trials
+            fingerprint["graphs"] = self.graphs
+        return fingerprint
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full JSON-safe description (manifests, CLI round trips)."""
+        return {
+            "algorithm": self.algorithm,
+            "engine": self.engine,
+            "family": self.family,
+            "n": self.n,
+            "edge_probability": self.edge_probability,
+            "rows": self.rows,
+            "cols": self.cols,
+            "trials": self.trials,
+            "graphs": self.graphs,
+            "master_seed": self.master_seed,
+            "beep_loss": self.beep_loss,
+            "spurious_beep": self.spurious_beep,
+            "crashes": [list(pair) for pair in self.crashes],
+            "validate": self.validate,
+            "max_rounds": self.max_rounds,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "CellSpec":
+        """Inverse of :meth:`to_dict`."""
+        data = dict(payload)
+        data["crashes"] = tuple(
+            (int(r), int(v)) for r, v in data.get("crashes", ())
+        )
+        return CellSpec(**data)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """A contiguous global-trial window ``[lo, hi)`` of one cell."""
+
+    cell: CellSpec
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.lo < self.hi <= self.cell.trials:
+            raise ValueError(
+                f"shard window must satisfy 0 <= lo < hi <= "
+                f"{self.cell.trials}, got ({self.lo}, {self.hi})"
+            )
+
+    @property
+    def trials(self) -> int:
+        """Number of trials this shard executes."""
+        return self.hi - self.lo
+
+    def content_hash(self) -> str:
+        """sha256 over everything that determines this shard's rows."""
+        payload = {
+            "format": SPEC_FORMAT_VERSION,
+            "cell": self.cell.execution_fingerprint(),
+            "lo": self.lo,
+            "hi": self.hi,
+        }
+        digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
+        return digest.hexdigest()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full JSON-safe description (stored in the shard manifest)."""
+        return {"cell": self.cell.to_dict(), "lo": self.lo, "hi": self.hi}
+
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "ShardSpec":
+        """Inverse of :meth:`to_dict`."""
+        return ShardSpec(
+            cell=CellSpec.from_dict(payload["cell"]),
+            lo=int(payload["lo"]),
+            hi=int(payload["hi"]),
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A grid of cells plus the shard width the orchestrator splits at.
+
+    ``shard_trials`` bounds how many trials one shard executes; it shapes
+    parallelism and cache granularity but never the results — shard hashes
+    are per-window, and any partition of ``[0, trials)`` concatenates to
+    the same rows.
+    """
+
+    cells: Tuple[CellSpec, ...]
+    shard_trials: int = 32
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            raise ValueError("a sweep needs at least one cell")
+        if self.shard_trials < 1:
+            raise ValueError(
+                f"shard_trials must be >= 1, got {self.shard_trials}"
+            )
+        object.__setattr__(self, "cells", tuple(self.cells))
+
+    def shards(self) -> List[ShardSpec]:
+        """Every cell partitioned into ``shard_trials``-wide windows."""
+        out: List[ShardSpec] = []
+        for cell in self.cells:
+            for lo in range(0, cell.trials, self.shard_trials):
+                out.append(
+                    ShardSpec(cell, lo, min(lo + self.shard_trials, cell.trials))
+                )
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full JSON-safe description."""
+        return {
+            "cells": [cell.to_dict() for cell in self.cells],
+            "shard_trials": self.shard_trials,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "SweepSpec":
+        """Inverse of :meth:`to_dict`."""
+        return SweepSpec(
+            cells=tuple(
+                CellSpec.from_dict(cell) for cell in payload["cells"]
+            ),
+            shard_trials=int(payload.get("shard_trials", 32)),
+        )

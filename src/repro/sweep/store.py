@@ -1,0 +1,225 @@
+"""Content-addressed on-disk store of shard results.
+
+Layout (under one cache root)::
+
+    <root>/ab/<hash>.jsonl          one TrialOutcome per line
+    <root>/ab/<hash>.manifest.json  provenance: shard spec, code version,
+                                    row count, wall-clock, creation time
+
+where ``<hash>`` is :meth:`ShardSpec.content_hash` and ``ab`` its first
+two hex digits.  Writes are atomic (temp file + ``os.replace``) and the
+manifest lands *after* the rows, so a visible manifest always implies
+complete rows; readers treat anything inconsistent — missing files,
+unparsable lines, row-count or version mismatches — as a cache miss, and
+the next :meth:`ResultStore.get_or_run` simply recomputes and rewrites it.
+
+Invalidation is purely key-driven: results never expire, they are orphaned
+when their key changes (spec format version bump, changed seed discipline,
+changed cell parameters).  ``STORE_FORMAT_VERSION`` covers the *file
+layout* and is checked at read time; :data:`~repro.sweep.spec.SPEC_FORMAT_VERSION`
+covers *result semantics* and is folded into the hash itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.experiments.runner import TrialOutcome
+from repro.sweep.spec import ShardSpec
+
+PathLike = Union[str, Path]
+
+#: Bump when the JSONL/manifest layout changes (read-time check).
+STORE_FORMAT_VERSION = 1
+
+_ROW_FIELDS = ("trial", "rounds", "mis_size", "mean_beeps_per_node", "messages", "bits")
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """Provenance of one stored shard."""
+
+    content_hash: str
+    store_format: int
+    code_version: str
+    rows: int
+    elapsed_seconds: float
+    created: float
+    shard: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form."""
+        return {
+            "content_hash": self.content_hash,
+            "store_format": self.store_format,
+            "code_version": self.code_version,
+            "rows": self.rows,
+            "elapsed_seconds": self.elapsed_seconds,
+            "created": self.created,
+            "shard": self.shard,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "ShardManifest":
+        """Inverse of :meth:`to_dict`."""
+        return ShardManifest(
+            content_hash=payload["content_hash"],
+            store_format=int(payload["store_format"]),
+            code_version=payload["code_version"],
+            rows=int(payload["rows"]),
+            elapsed_seconds=float(payload["elapsed_seconds"]),
+            created=float(payload.get("created", 0.0)),
+            shard=payload["shard"],
+        )
+
+
+def _row_to_json(outcome: TrialOutcome) -> str:
+    return json.dumps(
+        {name: getattr(outcome, name) for name in _ROW_FIELDS},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def _row_from_json(line: str) -> TrialOutcome:
+    payload = json.loads(line)
+    return TrialOutcome(
+        trial=int(payload["trial"]),
+        rounds=int(payload["rounds"]),
+        mis_size=int(payload["mis_size"]),
+        mean_beeps_per_node=float(payload["mean_beeps_per_node"]),
+        messages=int(payload["messages"]),
+        bits=int(payload["bits"]),
+    )
+
+
+class ResultStore:
+    """A content-addressed cache of shard results under one directory."""
+
+    def __init__(self, root: PathLike) -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def root(self) -> Path:
+        """The cache root directory."""
+        return self._root
+
+    def rows_path(self, shard: ShardSpec) -> Path:
+        """Where the shard's JSONL rows live."""
+        digest = shard.content_hash()
+        return self._root / digest[:2] / f"{digest}.jsonl"
+
+    def manifest_path(self, shard: ShardSpec) -> Path:
+        """Where the shard's provenance manifest lives."""
+        digest = shard.content_hash()
+        return self._root / digest[:2] / f"{digest}.manifest.json"
+
+    def _atomic_write(self, path: Path, text: str) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            encoding="utf-8",
+            dir=path.parent,
+            prefix=f".tmp-{path.name}-",
+            delete=False,
+        )
+        try:
+            with handle:
+                handle.write(text)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def manifest(self, shard: ShardSpec) -> Optional[ShardManifest]:
+        """The shard's manifest, or ``None`` if absent/unreadable/stale."""
+        path = self.manifest_path(shard)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            manifest = ShardManifest.from_dict(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        if manifest.store_format != STORE_FORMAT_VERSION:
+            return None
+        if manifest.content_hash != shard.content_hash():
+            return None
+        return manifest
+
+    def get(self, shard: ShardSpec) -> Optional[List[TrialOutcome]]:
+        """Stored rows for the shard, or ``None`` on any inconsistency."""
+        manifest = self.manifest(shard)
+        if manifest is None:
+            return None
+        try:
+            text = self.rows_path(shard).read_text(encoding="utf-8")
+            rows = [
+                _row_from_json(line)
+                for line in text.splitlines()
+                if line.strip()
+            ]
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        if len(rows) != manifest.rows or len(rows) != shard.trials:
+            return None
+        return rows
+
+    def put(
+        self,
+        shard: ShardSpec,
+        outcomes: List[TrialOutcome],
+        elapsed_seconds: float = 0.0,
+    ) -> ShardManifest:
+        """Atomically store a shard's rows, then its manifest."""
+        if len(outcomes) != shard.trials:
+            raise ValueError(
+                f"shard covers {shard.trials} trials but got "
+                f"{len(outcomes)} outcomes"
+            )
+        from repro import __version__
+
+        self._atomic_write(
+            self.rows_path(shard),
+            "".join(_row_to_json(o) + "\n" for o in outcomes),
+        )
+        manifest = ShardManifest(
+            content_hash=shard.content_hash(),
+            store_format=STORE_FORMAT_VERSION,
+            code_version=__version__,
+            rows=len(outcomes),
+            elapsed_seconds=float(elapsed_seconds),
+            created=time.time(),
+            shard=shard.to_dict(),
+        )
+        self._atomic_write(
+            self.manifest_path(shard),
+            json.dumps(manifest.to_dict(), indent=2, sort_keys=True),
+        )
+        return manifest
+
+    def get_or_run(
+        self,
+        shard: ShardSpec,
+        runner: Callable[[ShardSpec], List[TrialOutcome]],
+    ) -> Tuple[List[TrialOutcome], bool]:
+        """Rows for the shard, resuming from disk when possible.
+
+        Returns ``(rows, from_cache)``; on a miss ``runner`` executes the
+        shard and its rows are stored before returning.
+        """
+        cached = self.get(shard)
+        if cached is not None:
+            return cached, True
+        start = time.perf_counter()
+        rows = runner(shard)
+        self.put(shard, rows, elapsed_seconds=time.perf_counter() - start)
+        return rows, False

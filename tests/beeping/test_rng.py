@@ -74,6 +74,44 @@ class TestDeriveSeedBlock:
         with pytest.raises(ValueError, match="count"):
             derive_seed_block(1, count=-1)
 
+    def test_rejects_negative_start(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="start"):
+            derive_seed_block(1, count=2, start=-1)
+
+
+class TestShardBoundaries:
+    """The sweep orchestrator's seed contract: a block split across shard
+    offsets must equal the unsharded block bit for bit, so a sharded sweep
+    consumes exactly the seeds the sequential loop would."""
+
+    def test_offset_block_matches_unsharded_slice(self):
+        whole = derive_seed_block(42, 5, count=100)
+        shard = derive_seed_block(42, 5, count=30, start=40)
+        assert [int(s) for s in shard] == [int(s) for s in whole[40:70]]
+
+    def test_partition_concatenates_to_whole_block(self):
+        import numpy as np
+
+        whole = derive_seed_block(1303, 2, 1, count=64)
+        parts = [
+            derive_seed_block(1303, 2, 1, count=hi - lo, start=lo)
+            for lo, hi in ((0, 7), (7, 32), (32, 33), (33, 64))
+        ]
+        assert np.array_equal(np.concatenate(parts), whole)
+
+    def test_offset_entries_match_scalar_derivation(self):
+        shard = derive_seed_block(7, 3, count=5, start=11)
+        assert [int(s) for s in shard] == [
+            derive_seed(7, 3, 11 + t) for t in range(5)
+        ]
+
+    def test_shard_width_one_matches_scalar(self):
+        for t in (0, 1, 63, 1000):
+            block = derive_seed_block(9, count=1, start=t)
+            assert int(block[0]) == derive_seed(9, t)
+
 
 class TestSpawnRng:
     def test_same_path_same_stream(self):

@@ -55,18 +55,67 @@ class TestRoundTrip:
         assert original == replayed
 
 
+class TestSeededRoundTrip:
+    """Write→read must be lossless for any seeded simulation trace."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_lossless_across_seeds(self, seed):
+        from repro.beeping.rng import spawn_rng
+
+        graph = gnp_random_graph(20, 0.35, spawn_rng(seed, 0))
+        trace = Trace(record_probabilities=True)
+        BeepingSimulation(
+            graph,
+            lambda v: ExponentFeedbackNode(),
+            spawn_rng(seed, 1),
+            trace=trace,
+        ).run()
+        buffer = io.StringIO()
+        write_trace(trace, buffer)
+        buffer.seek(0)
+        restored = read_trace(buffer)
+        assert restored.num_rounds == trace.num_rounds
+        assert restored.record_probabilities == trace.record_probabilities
+        assert restored.rounds == trace.rounds
+        assert restored.joins == trace.joins
+        assert restored.retirements == trace.retirements
+
+    def test_write_is_deterministic(self):
+        _graph, trace = traced_run(True)
+        first, second = io.StringIO(), io.StringIO()
+        write_trace(trace, first)
+        write_trace(trace, second)
+        assert first.getvalue() == second.getvalue()
+
+    def test_double_round_trip_is_fixed_point(self):
+        _graph, trace = traced_run(True)
+        once = io.StringIO()
+        write_trace(trace, once)
+        once.seek(0)
+        twice = io.StringIO()
+        write_trace(read_trace(once), twice)
+        assert once.getvalue() == twice.getvalue()
+
+
 class TestErrors:
     def test_empty_stream(self):
         with pytest.raises(ValueError, match="missing header"):
             read_trace(io.StringIO(""))
 
-    def test_bad_version(self):
-        stream = io.StringIO(
-            '{"format_version": 99, "record_probabilities": false, '
-            '"num_rounds": 0, "retirements": []}\n'
-        )
+    @pytest.mark.parametrize("version", [99, 0, 2, None, "1"])
+    def test_unknown_header_version_rejected(self, version):
+        import json
+
+        header = {
+            "format_version": version,
+            "record_probabilities": False,
+            "num_rounds": 0,
+            "retirements": [],
+        }
+        if version is None:
+            del header["format_version"]
         with pytest.raises(ValueError, match="version"):
-            read_trace(stream)
+            read_trace(io.StringIO(json.dumps(header) + "\n"))
 
     def test_round_count_mismatch(self):
         stream = io.StringIO(

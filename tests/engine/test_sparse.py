@@ -36,11 +36,26 @@ class TestBasics:
         assert 4 in run.mis
 
     def test_trailing_isolated_vertices(self):
-        # Regression guard for the reduceat clamp: isolated vertices at the
-        # END of the index range have empty trailing CSR segments.
+        # Regression guard for the reduceat boundaries: isolated vertices
+        # at the END of the index range have empty trailing CSR segments.
         graph = Graph(6, [(0, 1)])
         run = SparseSimulator(graph).run(FeedbackRule(), 4, validate=True)
         assert {2, 3, 4, 5} <= run.mis
+
+    def test_trailing_isolated_vertices_do_not_truncate_hearing(self):
+        # A clamped trailing start used to cut the last non-empty CSR
+        # segment short, dropping beeps from a vertex's highest-index
+        # neighbours (sparse run then disagreed with dense on rounds).
+        from repro.engine.sparse import SparseSimulator as SS
+
+        # Vertex 2's CSR segment [2, 4) is the last one; vertex 3 is a
+        # trailing isolated vertex whose start the old clamp pulled back
+        # to 3, cutting neighbour 1 out of vertex 2's segment.
+        graph = Graph(4, [(2, 0), (2, 1)])
+        simulator = SS(graph)
+        only_1 = np.array([False, True, False, False])
+        heard = simulator._neighbor_or(only_1)
+        assert list(heard) == [False, False, True, False]
 
     def test_star(self):
         run = SparseSimulator(star_graph(20)).run(

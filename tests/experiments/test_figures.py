@@ -106,3 +106,22 @@ class TestGridBeeps:
         for point in feedback:
             # Paper: around 1.1 beeps per node on rectangular grids.
             assert 0.6 < point.mean < 2.0
+
+
+class TestSweepExecution:
+    """Figures run through the sweep orchestrator: jobs, cache and shard
+    width are pure execution knobs and must never change the numbers."""
+
+    ARGS = dict(sizes=(20, 30), trials=6, graphs_per_size=2, master_seed=12)
+
+    def test_jobs_and_cache_do_not_change_results(self, tmp_path):
+        plain = figure3_series(**self.ARGS)
+        sharded = figure3_series(
+            **self.ARGS, jobs=2, cache_dir=tmp_path, shard_trials=2
+        )
+        assert sharded.points == plain.points
+
+    def test_warm_cache_reproduces_the_figure(self, tmp_path):
+        cold = figure3_series(**self.ARGS, cache_dir=tmp_path)
+        warm = figure3_series(**self.ARGS, cache_dir=tmp_path)
+        assert warm.points == cold.points

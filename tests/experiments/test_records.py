@@ -69,3 +69,46 @@ class TestCsv:
         assert lines[0] == "series,x,mean,std,trials"
         assert len(lines) == 5
         assert lines[1].startswith("feedback,100.0,15.2")
+
+
+# The exact serialised forms are a pinned contract: the sweep store's
+# aggregation path (`repro.sweep.aggregate` → SeriesPoint → CSV/JSON)
+# and any external consumer of exported results depend on them.  Update
+# these snapshots only for a deliberate schema change.
+
+GOLDEN_CSV = """\
+series,x,mean,std,trials
+feedback,100.0,15.2,2.1,50
+feedback,200.0,18.0,2.4,50
+afek-sweep,100.0,44.0,6.0,50
+afek-sweep,200.0,58.5,7.1,50
+"""
+
+
+class TestGoldenSnapshots:
+    def test_csv_snapshot(self):
+        assert results_to_csv(sample_result()) == GOLDEN_CSV
+
+    def test_json_schema_keys(self):
+        payload = json.loads(results_to_json(sample_result()))
+        assert sorted(payload) == [
+            "experiment",
+            "master_seed",
+            "parameters",
+            "points",
+        ]
+        assert sorted(payload["points"][0]) == [
+            "extra",
+            "mean",
+            "series",
+            "std",
+            "trials",
+            "x",
+        ]
+
+    def test_json_round_trip_preserves_every_field(self):
+        result = sample_result()
+        restored = results_from_json(results_to_json(result))
+        for original, back in zip(result.points, restored.points):
+            assert original == back
+        assert restored == result

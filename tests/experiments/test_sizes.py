@@ -46,3 +46,18 @@ class TestMisSizeExperiment:
         assert result.parameters["include_optimum"] is False
         assert result.series_names() == ["greedy"]
         assert result.points[0].extra == {}
+
+    def test_jobs_and_cache_do_not_change_results(self, tmp_path):
+        args = dict(
+            n=18,
+            trials=4,
+            algorithm_names=("feedback", "greedy"),
+            master_seed=8,
+        )
+        plain = mis_size_experiment(**args)
+        sharded = mis_size_experiment(
+            **args, jobs=2, cache_dir=tmp_path, shard_trials=2
+        )
+        assert sharded.points == plain.points
+        warm = mis_size_experiment(**args, cache_dir=tmp_path)
+        assert warm.points == plain.points

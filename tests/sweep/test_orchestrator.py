@@ -1,0 +1,196 @@
+"""Conformance tests: the sharded orchestrator vs. the sequential runners.
+
+The acceptance contract of the sweep subsystem is that sharding is purely
+an execution strategy: for the same :class:`SweepSpec`, the orchestrator —
+at any job count, shard width or cache state — returns exactly the
+``TrialOutcome`` rows the sequential :func:`run_trials` /
+:func:`run_fleet_trials` calls produce, and a repeated sweep is served
+entirely from the store (zero shards executed).
+"""
+
+import pytest
+
+from repro.algorithms.feedback import FeedbackMIS
+from repro.beeping.faults import FaultModel
+from repro.engine.rules import FeedbackRule, SweepRule
+from repro.experiments.runner import run_fleet_trials, run_trials
+from repro.graphs.random_graphs import gnp_random_graph
+from repro.sweep.orchestrator import execute_shard, run_sweep
+from repro.sweep.spec import CellSpec, ShardSpec, SweepSpec
+from repro.sweep.store import ResultStore
+
+FLEET_CELL = CellSpec(
+    algorithm="feedback",
+    engine="fleet",
+    family="gnp",
+    n=30,
+    edge_probability=0.4,
+    trials=10,
+    graphs=3,
+    master_seed=77,
+)
+REFERENCE_CELL = CellSpec(
+    algorithm="feedback",
+    engine="reference",
+    family="gnp",
+    n=16,
+    edge_probability=0.3,
+    trials=6,
+    master_seed=9,
+)
+
+
+def fleet_oracle(cell):
+    return run_fleet_trials(
+        {"feedback": FeedbackRule, "afek-sweep": SweepRule}[cell.algorithm],
+        lambda rng: gnp_random_graph(cell.n, cell.edge_probability, rng),
+        cell.trials,
+        cell.master_seed,
+        graphs=cell.graphs,
+        validate=cell.validate,
+    )
+
+
+def reference_oracle(cell):
+    return run_trials(
+        FeedbackMIS,
+        lambda rng: gnp_random_graph(cell.n, cell.edge_probability, rng),
+        cell.trials,
+        cell.master_seed,
+        faults=cell.fault_model(),
+        validate=cell.validate,
+    )
+
+
+class TestBitIdenticalToSequential:
+    """ISSUE acceptance: orchestrator(jobs>=2) == run_trials/run_fleet_trials."""
+
+    def test_fleet_cell_matches_run_fleet_trials(self, tmp_path):
+        spec = SweepSpec((FLEET_CELL,), shard_trials=4)  # 3 shards
+        result = run_sweep(spec, store=ResultStore(tmp_path), jobs=2)
+        assert result.rows(FLEET_CELL) == fleet_oracle(FLEET_CELL)
+        assert result.report.shards_executed == 3
+
+    def test_reference_cell_matches_run_trials(self, tmp_path):
+        spec = SweepSpec((REFERENCE_CELL,), shard_trials=2)  # 3 shards
+        result = run_sweep(spec, store=ResultStore(tmp_path), jobs=2)
+        assert result.rows(REFERENCE_CELL) == reference_oracle(REFERENCE_CELL)
+
+    def test_results_independent_of_jobs(self):
+        spec = SweepSpec((FLEET_CELL, REFERENCE_CELL), shard_trials=3)
+        sequential = run_sweep(spec, jobs=1)
+        parallel = run_sweep(spec, jobs=2)
+        assert sequential.outcomes == parallel.outcomes
+
+    def test_results_independent_of_shard_width(self):
+        wide = run_sweep(SweepSpec((FLEET_CELL,), shard_trials=100))
+        narrow = run_sweep(SweepSpec((FLEET_CELL,), shard_trials=1))
+        assert wide.rows(FLEET_CELL) == narrow.rows(FLEET_CELL)
+
+    def test_single_shard_executor_is_the_unit(self):
+        """execute_shard on the full window IS the sequential run."""
+        whole = ShardSpec(FLEET_CELL, 0, FLEET_CELL.trials)
+        assert execute_shard(whole) == fleet_oracle(FLEET_CELL)
+
+    def test_faulted_reference_cell_matches_run_trials(self):
+        cell = CellSpec(
+            algorithm="feedback",
+            engine="reference",
+            family="gnp",
+            n=14,
+            edge_probability=0.3,
+            trials=4,
+            master_seed=13,
+            spurious_beep=0.2,
+        )
+        result = run_sweep(SweepSpec((cell,), shard_trials=2), jobs=2)
+        expected = run_trials(
+            FeedbackMIS,
+            lambda rng: gnp_random_graph(14, 0.3, rng),
+            4,
+            13,
+            faults=FaultModel(spurious_beep_probability=0.2),
+        )
+        assert result.rows(cell) == expected
+
+
+class TestStoreResume:
+    """ISSUE acceptance: a repeated sweep executes zero shards."""
+
+    def test_second_invocation_is_fully_cached(self, tmp_path):
+        spec = SweepSpec((FLEET_CELL, REFERENCE_CELL), shard_trials=4)
+        store = ResultStore(tmp_path)
+        cold = run_sweep(spec, store=store, jobs=2)
+        assert cold.report.shards_executed == cold.report.shards_total
+        warm = run_sweep(spec, store=store, jobs=2)
+        assert warm.report.shards_executed == 0
+        assert warm.report.shards_cached == warm.report.shards_total
+        assert warm.outcomes == cold.outcomes
+        # Verified by the manifests: every shard of the spec is on disk.
+        for shard in spec.shards():
+            manifest = store.manifest(shard)
+            assert manifest is not None
+            assert manifest.rows == shard.trials
+
+    def test_partial_cache_executes_only_missing_shards(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = SweepSpec((FLEET_CELL,), shard_trials=4)
+        first_shard = spec.shards()[0]
+        store.put(first_shard, execute_shard(first_shard))
+        result = run_sweep(spec, store=store, jobs=2)
+        assert result.report.shards_cached == 1
+        assert result.report.shards_executed == 2
+        assert result.rows(FLEET_CELL) == fleet_oracle(FLEET_CELL)
+
+    def test_reference_sweep_extension_reuses_stored_shards(self, tmp_path):
+        """Growing a reference cell's trial count only runs the new tail."""
+        store = ResultStore(tmp_path)
+        small = SweepSpec((REFERENCE_CELL,), shard_trials=2)
+        run_sweep(small, store=store)
+        grown = CellSpec(
+            **{**REFERENCE_CELL.to_dict(), "trials": REFERENCE_CELL.trials + 2}
+        )
+        result = run_sweep(SweepSpec((grown,), shard_trials=2), store=store)
+        assert result.report.shards_cached == 3
+        assert result.report.shards_executed == 1
+        assert result.rows(grown) == reference_oracle(grown)
+
+    def test_store_accepts_a_plain_path(self, tmp_path):
+        spec = SweepSpec((REFERENCE_CELL,), shard_trials=3)
+        run_sweep(spec, store=tmp_path)
+        warm = run_sweep(spec, store=str(tmp_path))
+        assert warm.report.shards_executed == 0
+
+    def test_duplicate_cells_execute_once(self, tmp_path):
+        spec = SweepSpec((FLEET_CELL, FLEET_CELL), shard_trials=100)
+        result = run_sweep(spec, store=tmp_path)
+        assert result.report.shards_total == 2
+        assert result.report.shards_executed == 1
+        assert result.rows(FLEET_CELL) == fleet_oracle(FLEET_CELL)
+
+
+class TestValidation:
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_sweep(SweepSpec((REFERENCE_CELL,)), jobs=0)
+
+
+class TestAggregation:
+    def test_cell_point_summarises_rows(self):
+        from repro.sweep.aggregate import cell_point, outcome_value
+
+        result = run_sweep(SweepSpec((FLEET_CELL,), shard_trials=4))
+        rows = result.rows(FLEET_CELL)
+        point = cell_point(FLEET_CELL, rows, "rounds")
+        assert point.series == "feedback"
+        assert point.x == float(FLEET_CELL.n)
+        assert point.trials == FLEET_CELL.trials
+        values = [outcome_value(row, "rounds") for row in rows]
+        assert point.mean == pytest.approx(sum(values) / len(values))
+
+    def test_outcome_value_rejects_unknown_quantity(self):
+        from repro.sweep.aggregate import outcome_value
+
+        result = run_sweep(SweepSpec((REFERENCE_CELL,)))
+        with pytest.raises(ValueError, match="quantity"):
+            outcome_value(result.rows(REFERENCE_CELL)[0], "latency")

@@ -1,0 +1,162 @@
+"""Tests for the content-addressed result store."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import TrialOutcome
+from repro.sweep.spec import CellSpec, ShardSpec
+from repro.sweep.store import STORE_FORMAT_VERSION, ResultStore
+
+
+def shard(trials=4, lo=0, hi=4, **overrides):
+    base = dict(
+        algorithm="feedback",
+        engine="reference",
+        family="gnp",
+        n=20,
+        edge_probability=0.3,
+        trials=trials,
+        master_seed=11,
+    )
+    base.update(overrides)
+    return ShardSpec(CellSpec(**base), lo, hi)
+
+
+def rows_for(spec):
+    return [
+        TrialOutcome(
+            trial=t,
+            rounds=5 + t,
+            mis_size=7,
+            mean_beeps_per_node=1.25,
+            messages=40,
+            bits=40,
+        )
+        for t in range(spec.lo, spec.hi)
+    ]
+
+
+class TestPutGet:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = shard()
+        rows = rows_for(spec)
+        store.put(spec, rows, elapsed_seconds=0.5)
+        assert store.get(spec) == rows
+
+    def test_miss_on_empty_store(self, tmp_path):
+        assert ResultStore(tmp_path).get(shard()) is None
+
+    def test_rows_are_jsonl_under_hash_path(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = shard()
+        store.put(spec, rows_for(spec))
+        path = store.rows_path(spec)
+        digest = spec.content_hash()
+        assert path.parent.name == digest[:2]
+        assert path.name == f"{digest}.jsonl"
+        lines = path.read_text().splitlines()
+        assert len(lines) == spec.trials
+        assert json.loads(lines[0])["trial"] == 0
+
+    def test_put_rejects_wrong_row_count(self, tmp_path):
+        spec = shard()
+        with pytest.raises(ValueError, match="4 trials"):
+            ResultStore(tmp_path).put(spec, rows_for(spec)[:-1])
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = shard()
+        store.put(spec, rows_for(spec))
+        leftovers = [p for p in tmp_path.rglob("*") if p.name.startswith(".tmp-")]
+        assert leftovers == []
+
+
+class TestManifest:
+    def test_provenance_fields(self, tmp_path):
+        from repro import __version__
+
+        store = ResultStore(tmp_path)
+        spec = shard()
+        store.put(spec, rows_for(spec), elapsed_seconds=1.5)
+        manifest = store.manifest(spec)
+        assert manifest is not None
+        assert manifest.content_hash == spec.content_hash()
+        assert manifest.store_format == STORE_FORMAT_VERSION
+        assert manifest.code_version == __version__
+        assert manifest.rows == spec.trials
+        assert manifest.elapsed_seconds == 1.5
+        assert manifest.created > 0
+        assert ShardSpec.from_dict(manifest.shard) == spec
+
+    def test_unknown_store_format_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = shard()
+        store.put(spec, rows_for(spec))
+        path = store.manifest_path(spec)
+        payload = json.loads(path.read_text())
+        payload["store_format"] = STORE_FORMAT_VERSION + 1
+        path.write_text(json.dumps(payload))
+        assert store.manifest(spec) is None
+        assert store.get(spec) is None
+
+
+class TestCorruption:
+    """Anything inconsistent on disk is a miss, never an exception."""
+
+    def test_truncated_rows_file(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = shard()
+        store.put(spec, rows_for(spec))
+        path = store.rows_path(spec)
+        path.write_text("".join(path.read_text().splitlines(True)[:-1]))
+        assert store.get(spec) is None
+
+    def test_garbage_rows_file(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = shard()
+        store.put(spec, rows_for(spec))
+        store.rows_path(spec).write_text("not json\n" * spec.trials)
+        assert store.get(spec) is None
+
+    def test_garbage_manifest(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = shard()
+        store.put(spec, rows_for(spec))
+        store.manifest_path(spec).write_text("{broken")
+        assert store.get(spec) is None
+
+    def test_missing_rows_with_manifest(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = shard()
+        store.put(spec, rows_for(spec))
+        store.rows_path(spec).unlink()
+        assert store.get(spec) is None
+
+
+class TestGetOrRun:
+    def test_runs_once_then_serves_from_disk(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = shard()
+        calls = []
+
+        def runner(s):
+            calls.append(s)
+            return rows_for(s)
+
+        rows, cached = store.get_or_run(spec, runner)
+        assert not cached and rows == rows_for(spec)
+        rows, cached = store.get_or_run(spec, runner)
+        assert cached and rows == rows_for(spec)
+        assert len(calls) == 1
+
+    def test_distinct_shards_do_not_collide(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first = shard(trials=8, lo=0, hi=4)
+        second = shard(trials=8, lo=4, hi=8)
+        store.put(first, rows_for(first))
+        assert store.get(second) is None
+        store.put(second, rows_for(second))
+        assert store.get(first) == rows_for(first)
+        assert store.get(second) == rows_for(second)

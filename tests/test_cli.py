@@ -40,6 +40,55 @@ class TestRun:
             main(["run", "--algorithm", "bogus"])
 
 
+class TestSweep:
+    def test_cold_then_warm_run(self, capsys, tmp_path):
+        args = [
+            "sweep",
+            "--algorithms", "feedback",
+            "--sizes", "16",
+            "--trials", "4",
+            "--cache-dir", str(tmp_path),
+            "--csv",
+        ]
+        assert main(args) == 0
+        out, err = capsys.readouterr()
+        assert "series,x,mean,std,trials" in out
+        # Under --csv stdout stays pure CSV; the shard report goes to stderr.
+        assert "executed" not in out
+        assert "executed=1" in err
+        assert main(args) == 0
+        warm, warm_err = capsys.readouterr()
+        assert "executed=0" in warm_err
+        assert "cached=1" in warm_err
+        # identical CSV rows from the store
+        assert warm == out
+
+    def test_reference_engine_grid(self, capsys):
+        assert main([
+            "sweep",
+            "--algorithms", "greedy",
+            "--engine", "reference",
+            "--family", "grid",
+            "--sizes", "3",
+            "--trials", "2",
+            "--quantity", "mis-size",
+            "--csv",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("series,x,mean,std,trials\ngreedy,9.0,")
+
+    def test_jobs_flag_accepted_on_figures(self, capsys, tmp_path):
+        assert main([
+            "figure5",
+            "--trials", "4",
+            "--max-n", "20",
+            "--csv",
+            "--jobs", "2",
+            "--cache-dir", str(tmp_path),
+        ]) == 0
+        assert "feedback" in capsys.readouterr().out
+
+
 class TestFigures:
     def test_figure3_csv(self, capsys):
         assert main(
