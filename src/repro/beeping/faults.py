@@ -17,6 +17,19 @@ second exchange (join/retire notifications) stays reliable so that the
 output remains a well-defined independent set — exactly the separation the
 paper's robustness discussion assumes, since only the feedback path is
 claimed to tolerate noise.
+
+Two equivalent samplings of beep loss
+-------------------------------------
+The per-node reference engine (:class:`~repro.beeping.channel.BeepChannel`)
+drops each *edge delivery* independently: listener ``v`` with ``k`` beeping
+neighbours hears iff at least one of ``k`` Bernoulli(1 - q) deliveries
+survives.  The vectorised engines sample the same law with a single
+per-node uniform against the collapsed probability ``1 - q**k`` (``k`` is
+the beeping-neighbour count the engines already compute).  The two are
+identical in distribution — per listener, per round, independently — but
+consume randomness differently, so the reference engine agrees with the
+vectorised engines *in law* while the vectorised engines agree with each
+other *bit for bit* (see ``docs/robustness.md`` for the full contract).
 """
 
 from __future__ import annotations
@@ -54,6 +67,29 @@ class CrashSchedule:
     def is_empty(self) -> bool:
         """Whether the schedule contains no crashes at all."""
         return not self.crashes
+
+    def round_masks(self, num_vertices: int) -> Dict[int, "object"]:
+        """Per-round boolean crash masks for the vectorised engines.
+
+        Maps each scheduled round to a length-``num_vertices`` boolean
+        numpy array that is ``True`` on the vertices crashing at the start
+        of that round.  Scheduled vertices outside ``0..num_vertices-1``
+        are ignored, mirroring the reference scheduler's ``v in graph``
+        guard.  Rounds whose vertices all fall outside the graph are
+        omitted.  (numpy is imported lazily so the reference engine stays
+        stdlib-only.)
+        """
+        import numpy as np
+
+        masks: Dict[int, "object"] = {}
+        for round_index, vertices in self.crashes.items():
+            in_range = [v for v in vertices if 0 <= v < num_vertices]
+            if not in_range:
+                continue
+            mask = np.zeros(num_vertices, dtype=bool)
+            mask[in_range] = True
+            masks[round_index] = mask
+        return masks
 
 
 @dataclass(frozen=True)

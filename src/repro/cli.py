@@ -6,11 +6,14 @@ Subcommands
 - ``figure3``  — regenerate the Figure 3 series (rounds vs n) and plot it.
 - ``figure5``  — regenerate the Figure 5 series (beeps per node vs n).
 - ``sweep``    — sharded, cached experiment grids (algorithms × sizes).
+- ``robustness`` — fault grid (beep loss × spurious beeps, optional
+  crashes) through the cached orchestrator, on the fleet engine.
 - ``theorem1`` — the lower-bound experiment on the clique family.
 - ``bio``      — run the Notch–Delta lattice model and report the pattern.
 - ``list``     — list the registered algorithms.
 
-``figure3``, ``figure5``, ``sizes`` and ``sweep`` accept ``--jobs`` (shard
+``figure3``, ``figure5``, ``sizes``, ``sweep`` and ``robustness`` accept
+``--jobs`` (shard
 execution over worker processes) and ``--cache-dir`` (serve already-stored
 shards from the content-addressed result store); neither affects results.
 """
@@ -127,6 +130,45 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--shard-trials", type=int, default=32)
     sweep.add_argument("--csv", action="store_true", help="emit CSV only")
     _add_sweep_execution_arguments(sweep)
+
+    robust = sub.add_parser(
+        "robustness",
+        help="fault grid (beep loss x spurious beeps) via the cached sweep",
+    )
+    robust.add_argument(
+        "--algorithm", default="feedback", metavar="NAME",
+        help="fleet rule (or registry algorithm with --engine reference)",
+    )
+    robust.add_argument(
+        "--engine", choices=("fleet", "reference"), default="fleet"
+    )
+    robust.add_argument("--nodes", type=int, default=100)
+    robust.add_argument("--edge-probability", type=float, default=0.5)
+    robust.add_argument(
+        "--loss", nargs="+", type=float, default=[0.0, 0.05, 0.1, 0.2],
+        metavar="P", help="beep-loss probabilities (one series per value)",
+    )
+    robust.add_argument(
+        "--spurious", nargs="+", type=float, default=[0.0, 0.05, 0.1],
+        metavar="P", help="spurious-beep probabilities (the x-axis)",
+    )
+    robust.add_argument(
+        "--crash", nargs="*", default=[], metavar="ROUND:VERTEX",
+        help="fail-stop crashes applied to every grid cell",
+    )
+    robust.add_argument("--trials", type=int, default=32)
+    robust.add_argument(
+        "--graphs", type=int, default=1,
+        help="fleet engine: independent graphs per cell",
+    )
+    robust.add_argument(
+        "--quantity", choices=("rounds", "beeps", "mis-size"),
+        default="rounds",
+    )
+    robust.add_argument("--seed", type=int, default=1603)
+    robust.add_argument("--shard-trials", type=int, default=32)
+    robust.add_argument("--csv", action="store_true", help="emit CSV only")
+    _add_sweep_execution_arguments(robust)
 
     color = sub.add_parser("color", help="(Delta+1)-colouring by MIS peeling")
     color.add_argument("--nodes", type=int, default=60)
@@ -291,6 +333,58 @@ def _command_sweep(args: argparse.Namespace) -> int:
         print(format_experiment(result))
         print()
         print(plot_experiment(result, y_label=quantity))
+        print(summary)
+    return 0
+
+
+def _parse_crash_pairs(entries: List[str]) -> List[tuple]:
+    """Parse ``ROUND:VERTEX`` CLI entries into ``(round, vertex)`` pairs."""
+    pairs = []
+    for entry in entries:
+        try:
+            round_text, vertex_text = entry.split(":", 1)
+            pairs.append((int(round_text), int(vertex_text)))
+        except ValueError:
+            raise SystemExit(
+                f"--crash entries must look like ROUND:VERTEX, got {entry!r}"
+            )
+    return pairs
+
+
+def _command_robustness(args: argparse.Namespace) -> int:
+    from repro.experiments.robustness import robustness_grid
+
+    quantity = args.quantity.replace("-", "_")
+    result, report = robustness_grid(
+        algorithm=args.algorithm,
+        engine=args.engine,
+        n=args.nodes,
+        edge_probability=args.edge_probability,
+        loss_probabilities=args.loss,
+        spurious_probabilities=args.spurious,
+        crashes=_parse_crash_pairs(args.crash),
+        trials=args.trials,
+        graphs=args.graphs,
+        master_seed=args.seed,
+        quantity=quantity,
+        shard_trials=args.shard_trials,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
+    cache = args.cache_dir if args.cache_dir else "none"
+    summary = f"# {report.summary()} cache={cache}"
+    if args.csv:
+        # Keep stdout pure CSV (byte-stable, parseable); report on stderr.
+        print(results_to_csv(result), end="")
+        print(summary, file=sys.stderr)
+    else:
+        print(format_experiment(result))
+        print()
+        print(
+            plot_experiment(
+                result, y_label=quantity, x_label="spurious probability"
+            )
+        )
         print(summary)
     return 0
 
@@ -476,6 +570,7 @@ _COMMANDS = {
     "figure3": _command_figure3,
     "figure5": _command_figure5,
     "sweep": _command_sweep,
+    "robustness": _command_robustness,
     "theorem1": _command_theorem1,
     "bio": _command_bio,
     "sizes": _command_sizes,

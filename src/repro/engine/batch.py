@@ -20,7 +20,10 @@ Two execution strategies produce bit-identical results:
 
 Trial ``t`` of either strategy is seeded with
 ``derive_seed(master_seed, graph_index, trial)``, so the two agree bit for
-bit and results never depend on which strategy ran.
+bit and results never depend on which strategy ran.  Both accept a
+``faults`` model (beep loss, spurious beeps, crashes — see
+:mod:`repro.beeping.faults`); the engines share one fault draw order, so
+the bit-equality holds for fault-injected batches too.
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.beeping.faults import FaultModel, NO_FAULTS
 from repro.beeping.rng import derive_seed, derive_seed_block
 from repro.engine.fleet import FleetSimulator
 from repro.engine.rules import ProbabilityRule
@@ -82,6 +86,7 @@ def run_batch_loop(
     graph_index: int = 0,
     validate: bool = False,
     max_rounds: int = 100_000,
+    faults: FaultModel = NO_FAULTS,
 ) -> BatchResult:
     """The per-trial reference path: one simulator run per trial.
 
@@ -99,7 +104,7 @@ def run_batch_loop(
         rule = rule_factory()
         rule_name = rule.name
         seed = derive_seed(master_seed, graph_index, trial)
-        run = simulator.run(rule, seed, validate=validate)
+        run = simulator.run(rule, seed, validate=validate, faults=faults)
         rounds[trial] = run.rounds
         mean_beeps[trial] = run.mean_beeps_per_node
     return BatchResult(
@@ -120,13 +125,15 @@ def run_batch(
     validate: bool = False,
     max_rounds: int = 100_000,
     engine: str = "auto",
+    faults: FaultModel = NO_FAULTS,
 ) -> BatchResult:
     """Run ``trials`` independent simulations of one rule on one graph.
 
     ``graph_index`` namespaces the seed derivation when one experiment uses
     several graphs under the same master seed.  ``engine`` picks the
     execution strategy (``"auto"``, ``"fleet"`` or ``"loop"``; see module
-    docstring) without affecting results.
+    docstring) without affecting results; neither does ``faults`` depend
+    on it — both strategies inject the same vectorised fault model.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -151,12 +158,13 @@ def run_batch(
             graph_index=graph_index,
             validate=validate,
             max_rounds=max_rounds,
+            faults=faults,
         )
     if rule is None:
         rule = rule_factory()
     seeds = derive_seed_block(master_seed, graph_index, count=trials)
     simulator = FleetSimulator(graph, max_rounds=max_rounds)
-    run = simulator.run_fleet(rule, seeds, validate=validate)
+    run = simulator.run_fleet(rule, seeds, validate=validate, faults=faults)
     return BatchResult(
         rule_name=run.rule_name,
         num_vertices=graph.num_vertices,

@@ -13,17 +13,29 @@ time —
 - per-trial early exit through an alive-mask: finished trials drop out of
   the random drawing and the matmul, and their round counts freeze.
 
+Fault injection is vectorised the same way (:mod:`repro.beeping.faults`):
+beep loss and spurious beeps are per-node Bernoulli masks on the
+``(trials, n)`` tensors — loss collapses each listener's ``k`` independent
+edge deliveries into one draw against ``1 - loss**k``, with ``k`` the
+beeping-neighbour counts both backends already compute — and a
+:class:`~repro.beeping.faults.CrashSchedule` is a per-round active-mask
+update shared by every live trial.  Faults perturb only the *first*
+exchange (the ``heard`` fed to the probability rule); joins and
+retirements come from the true beep tensor, so every trial's output stays
+a valid independent set, maximal over the surviving vertices.
+
 Bit-reproducibility contract
 ----------------------------
 Trial ``t`` of a fleet run seeded with
 ``derive_seed_block(master_seed, graph_index, count=trials)`` consumes the
 exact random stream of a per-trial run seeded with
 ``derive_seed(master_seed, graph_index, t)``: every live trial draws
-``Generator.random(n)`` once per round from its own generator, and both
+``Generator.random(n)`` once per round from its own generator — then once
+per enabled fault kind (loss uniforms, then spurious uniforms) — and both
 backends compute the same ``heard`` booleans as the per-trial engines.
-Round counts, MIS membership and beep counts therefore agree *bit for bit*
-with the per-trial loop — the conformance suite in
-``tests/engine/test_conformance.py`` enforces this.
+Round counts, MIS membership, beep counts and crash sets therefore agree
+*bit for bit* with the per-trial loop, with or without faults — the
+conformance suite in ``tests/engine/test_conformance.py`` enforces this.
 
 The lockstep schedule requires the probability rule to be elementwise
 (``ProbabilityRule.trial_parallel``); the three paper rules qualify.
@@ -32,12 +44,17 @@ The lockstep schedule requires the probability rule to be elementwise
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Set
+from typing import Dict, Optional, Sequence, Set
 
 import numpy as np
 
+from repro.beeping.faults import FaultModel, NO_FAULTS
 from repro.engine.rules import ProbabilityRule
-from repro.engine.simulator import DEFAULT_MAX_ROUNDS, EngineRun
+from repro.engine.simulator import (
+    DEFAULT_MAX_ROUNDS,
+    EngineRun,
+    faulty_observation,
+)
 from repro.engine.sparse import build_csr
 from repro.graphs.graph import Graph
 from repro.graphs.validation import verify_mis
@@ -63,6 +80,9 @@ class FleetRun:
     membership: np.ndarray
     beeps_by_node: np.ndarray
     beep_history: Optional[np.ndarray] = None
+    #: ``(trials, n)`` crash indicators; ``None`` when the fault model
+    #: scheduled no crashes (the overwhelmingly common case).
+    crashed: Optional[np.ndarray] = None
 
     @property
     def mean_beeps(self) -> np.ndarray:
@@ -75,6 +95,12 @@ class FleetRun:
         """The MIS selected by one trial."""
         return {int(v) for v in np.flatnonzero(self.membership[trial])}
 
+    def crashed_set(self, trial: int) -> Set[int]:
+        """The vertices that crashed during one trial."""
+        if self.crashed is None:
+            return set()
+        return {int(v) for v in np.flatnonzero(self.crashed[trial])}
+
     def trial_run(self, trial: int) -> EngineRun:
         """One trial's outcome in the per-trial engines' result type."""
         return EngineRun(
@@ -83,6 +109,7 @@ class FleetRun:
             rounds=int(self.rounds[trial]),
             mis=self.mis_set(trial),
             beeps_by_node=self.beeps_by_node[trial].copy(),
+            crashed=self.crashed_set(trial),
         )
 
 
@@ -137,23 +164,15 @@ class FleetSimulator:
 
     def _neighbor_or(self, flags: np.ndarray) -> np.ndarray:
         """Row-wise: whether any neighbour's flag is set, per vertex."""
-        k, n = flags.shape
-        if n == 0:
-            return np.zeros((k, 0), dtype=bool)
         if self._backend == "dense":
+            k, n = flags.shape
+            if n == 0:
+                return np.zeros((k, 0), dtype=bool)
+            # Compare the float counts directly: the fault-free hot path
+            # skips _neighbor_counts's int64 conversion.
             counts = flags.astype(np.float32) @ self._adjacency
             return counts > 0.0
-        if self._columns.size == 0:
-            return np.zeros((k, n), dtype=bool)
-        # One trailing zero column keeps every (unclamped) start in range,
-        # so trailing empty segments never truncate the last real segment
-        # (see build_csr).
-        gathered = np.zeros((k, self._columns.size + 1), dtype=np.int32)
-        gathered[:, :-1] = flags[:, self._columns]
-        sums = np.add.reduceat(gathered, self._starts, axis=1)
-        result = sums > 0
-        result[:, self._isolated] = False
-        return result
+        return self._neighbor_counts(flags) > 0
 
     def _scattered_neighbor_or(
         self, flags: np.ndarray, live: np.ndarray
@@ -165,18 +184,52 @@ class FleetSimulator:
         result[live] = self._neighbor_or(flags[live])
         return result
 
+    def _neighbor_counts(self, flags: np.ndarray) -> np.ndarray:
+        """Row-wise beeping-neighbour counts (int64), per vertex."""
+        k, n = flags.shape
+        if n == 0:
+            return np.zeros((k, 0), dtype=np.int64)
+        if self._backend == "dense":
+            # float32 GEMM counts are exact small integers (degree < 2^24).
+            counts = flags.astype(np.float32) @ self._adjacency
+            return counts.astype(np.int64)
+        if self._columns.size == 0:
+            return np.zeros((k, n), dtype=np.int64)
+        # One trailing zero column keeps every (unclamped) start in range,
+        # so trailing empty segments never truncate the last real segment
+        # (see build_csr).
+        gathered = np.zeros((k, self._columns.size + 1), dtype=np.int32)
+        gathered[:, :-1] = flags[:, self._columns]
+        counts = np.add.reduceat(gathered, self._starts, axis=1)
+        # Empty segments (isolated vertices) yield garbage sums; zero them.
+        counts[:, self._isolated] = 0
+        return counts.astype(np.int64)
+
+    def _scattered_neighbor_counts(
+        self, flags: np.ndarray, live: np.ndarray
+    ) -> np.ndarray:
+        """Neighbour counts computed only on live rows, zero elsewhere."""
+        if live.size == flags.shape[0]:
+            return self._neighbor_counts(flags)
+        result = np.zeros(flags.shape, dtype=np.int64)
+        result[live] = self._neighbor_counts(flags[live])
+        return result
+
     def run_fleet(
         self,
         rule: ProbabilityRule,
         seeds: Sequence[int],
         validate: bool = False,
         record_beeps: bool = False,
+        faults: FaultModel = NO_FAULTS,
     ) -> FleetRun:
         """Simulate one independent trial per seed, all in lockstep.
 
         ``record_beeps=True`` additionally returns the full round-by-round
         beep tensor (``(rounds, trials, n)``) for trace tests; leave it off
-        for large runs.
+        for large runs.  ``faults`` applies the same fault model to every
+        trial; a fault-free model draws no extra randomness, so the run is
+        bit-identical to one without the argument.
         """
         if len(seeds) < 1:
             raise ValueError("need at least one seed")
@@ -187,6 +240,13 @@ class FleetSimulator:
             )
         n = self._graph.num_vertices
         trials = len(seeds)
+        loss = faults.beep_loss_probability
+        spurious = faults.spurious_beep_probability
+        noisy = loss > 0.0 or spurious > 0.0
+        crash_masks: Dict[int, np.ndarray] = faults.crash_schedule.round_masks(n)
+        crashed = (
+            np.zeros((trials, n), dtype=bool) if crash_masks else None
+        )
         generators = [np.random.default_rng(int(seed)) for seed in seeds]
         active = np.ones((trials, n), dtype=bool)
         membership = np.zeros((trials, n), dtype=bool)
@@ -196,6 +256,12 @@ class FleetSimulator:
         beeps = np.zeros((trials, n), dtype=np.int64)
         rounds = np.zeros(trials, dtype=np.int64)
         uniforms = np.empty((trials, n), dtype=np.float64)
+        loss_uniforms = (
+            np.empty((trials, n), dtype=np.float64) if loss > 0.0 else None
+        )
+        spurious_uniforms = (
+            np.empty((trials, n), dtype=np.float64) if spurious > 0.0 else None
+        )
         history = [] if record_beeps else None
         alive = active.any(axis=1)
         round_index = 0
@@ -204,15 +270,43 @@ class FleetSimulator:
                 raise RuntimeError(
                     f"fleet simulation exceeded {self._max_rounds} rounds"
                 )
+            crash = crash_masks.get(round_index)
+            if crash is not None:
+                # Fail-stop at the start of the round.  Finished trials
+                # have all-False active rows, so the crash never reaches
+                # them — exactly like the per-trial loop, which stops
+                # executing rounds at termination.
+                newly_crashed = active & crash
+                crashed |= newly_crashed
+                active &= ~newly_crashed
             live = np.flatnonzero(alive)
+            # One pass over the live trials draws all enabled uniform rows;
+            # generators are per-trial, so only the within-trial order
+            # (beep, then loss, then spurious) affects the streams.
             for t in live:
                 uniforms[t] = generators[t].random(n)
+                if loss > 0.0:
+                    loss_uniforms[t] = generators[t].random(n)
+                if spurious > 0.0:
+                    spurious_uniforms[t] = generators[t].random(n)
             # Dead rows keep stale uniforms, but their active row is
             # all-False so beep stays all-False there.
             beep = active & (uniforms < probabilities)
-            heard = self._scattered_neighbor_or(beep, live)
+            if noisy:
+                counts = self._scattered_neighbor_counts(beep, live)
+                heard_true = counts > 0
+                # Stale fault uniforms on dead rows could flip their heard
+                # bits; mask them off (their probabilities are unused, but
+                # keep the tensors clean).
+                heard = faulty_observation(
+                    counts, loss, spurious, loss_uniforms, spurious_uniforms
+                ) & alive[:, None]
+            else:
+                heard_true = self._scattered_neighbor_or(beep, live)
+                heard = heard_true
             probabilities = rule.update(probabilities, heard, active, round_index)
-            joined = beep & ~heard
+            # Second exchange stays reliable: joins come from the true OR.
+            joined = beep & ~heard_true
             membership |= joined
             neighbor_joined = self._scattered_neighbor_or(joined, live)
             beeps += beep
@@ -235,8 +329,13 @@ class FleetSimulator:
                 if record_beeps
                 else None
             ),
+            crashed=crashed,
         )
         if validate:
             for trial in range(trials):
-                verify_mis(self._graph, run.mis_set(trial))
+                verify_mis(
+                    self._graph,
+                    run.mis_set(trial),
+                    crashed=run.crashed_set(trial),
+                )
         return run

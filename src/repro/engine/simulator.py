@@ -7,17 +7,28 @@ expressed as boolean linear algebra:
 - ``heard = A @ beep > 0`` (one sparse-ish matrix product per round);
 - ``joined = beep & ~heard``; neighbours of joiners retire.
 
-No fault injection here — robustness experiments use the reference engine,
-which has the instrumentation to make their results interpretable.
+Fault injection (:mod:`repro.beeping.faults`) is vectorised too: beep loss
+and spurious beeps become per-node Bernoulli draws perturbing the *heard*
+vector fed back to the probability rule (the join/retire exchange stays
+reliable, computed from the true beep vector), and a
+:class:`~repro.beeping.faults.CrashSchedule` becomes per-round updates of
+the active mask.  The per-round draw order — beep uniforms, then loss
+uniforms, then spurious uniforms, each a full ``rng.random(n)`` and only
+when the corresponding probability is non-zero — is the shared contract
+that keeps this engine, the sparse engine and the fleet engine bit-for-bit
+identical under one seed (``docs/robustness.md``).  The per-node reference
+engine consumes randomness differently and agrees in law only; use it when
+a robustness experiment needs traces or per-node instrumentation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Set
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
 
 import numpy as np
 
+from repro.beeping.faults import FaultModel, NO_FAULTS
 from repro.engine.rules import ProbabilityRule
 from repro.graphs.graph import Graph
 from repro.graphs.validation import verify_mis
@@ -25,15 +36,47 @@ from repro.graphs.validation import verify_mis
 DEFAULT_MAX_ROUNDS = 100_000
 
 
+def faulty_observation(
+    counts: np.ndarray,
+    loss: float,
+    spurious: float,
+    loss_uniforms: Optional[np.ndarray],
+    spurious_uniforms: Optional[np.ndarray],
+) -> np.ndarray:
+    """The noisy ``heard`` booleans from beeping-neighbour counts.
+
+    Elementwise over any shape: the per-trial engines pass length-n
+    vectors, the fleet engine ``(trials, n)`` matrices.  A listener with
+    ``k`` beeping neighbours hears iff its loss uniform falls below
+    ``1 - loss**k`` (at least one of ``k`` independent deliveries
+    survives), then spurious uniforms add phantom beeps.  Every engine
+    funnels through this one function so the collapsed-probability
+    arithmetic — and therefore the bit-reproducibility contract — cannot
+    drift between them.
+    """
+    counts = counts.astype(np.int64, copy=False)
+    heard = counts > 0
+    if loss > 0.0:
+        heard = loss_uniforms < 1.0 - np.power(loss, counts)
+    if spurious > 0.0:
+        heard = heard | (spurious_uniforms < spurious)
+    return heard
+
+
 @dataclass
 class EngineRun:
-    """The outcome of one vectorised simulation."""
+    """The outcome of one vectorised simulation.
+
+    ``crashed`` is empty unless the run's fault model scheduled crashes;
+    crashed vertices are never in ``mis`` and are exempt from maximality.
+    """
 
     rule_name: str
     num_vertices: int
     rounds: int
     mis: Set[int]
     beeps_by_node: np.ndarray
+    crashed: Set[int] = field(default_factory=set)
 
     @property
     def mean_beeps_per_node(self) -> float:
@@ -69,10 +112,19 @@ class VectorizedSimulator:
         rule: ProbabilityRule,
         seed: int,
         validate: bool = False,
+        faults: FaultModel = NO_FAULTS,
     ) -> EngineRun:
-        """Execute one full simulation with the given rule and seed."""
+        """Execute one full simulation with the given rule and seed.
+
+        A fault-free ``faults`` model draws no extra randomness, so the
+        run is bit-identical to one without the argument.
+        """
         n = self._graph.num_vertices
         rng = np.random.default_rng(seed)
+        loss = faults.beep_loss_probability
+        spurious = faults.spurious_beep_probability
+        crash_masks: Dict[int, np.ndarray] = faults.crash_schedule.round_masks(n)
+        crashed = np.zeros(n, dtype=bool)
         active = np.ones(n, dtype=bool)
         in_mis = np.zeros(n, dtype=bool)
         probabilities = rule.initial(n)
@@ -83,15 +135,32 @@ class VectorizedSimulator:
                 raise RuntimeError(
                     f"vectorised simulation exceeded {self._max_rounds} rounds"
                 )
+            crash = crash_masks.get(rounds)
+            if crash is not None:
+                # Fail-stop at the start of the round: only still-active
+                # vertices crash (members and retirees already left).
+                newly_crashed = active & crash
+                crashed |= newly_crashed
+                active &= ~newly_crashed
             uniforms = rng.random(n)
             beep = active & (uniforms < probabilities)
             # Count of beeping neighbours, then the one-bit OR observation.
             # int32 vectors: a uint8 product would overflow beyond 255
             # beeping neighbours.
             neighbor_beeps = self._adjacency @ beep.astype(np.int32)
-            heard = neighbor_beeps > 0
+            heard_true = neighbor_beeps > 0
+            if loss > 0.0 or spurious > 0.0:
+                loss_uniforms = rng.random(n) if loss > 0.0 else None
+                spurious_uniforms = rng.random(n) if spurious > 0.0 else None
+                heard = faulty_observation(
+                    neighbor_beeps, loss, spurious,
+                    loss_uniforms, spurious_uniforms,
+                )
+            else:
+                heard = heard_true
             probabilities = rule.update(probabilities, heard, active, rounds)
-            joined = beep & ~heard
+            # Second exchange stays reliable: joins come from the true OR.
+            joined = beep & ~heard_true
             in_mis |= joined
             # Retire active neighbours of joiners.
             neighbor_joined = (self._adjacency @ joined.astype(np.int32)) > 0
@@ -99,12 +168,14 @@ class VectorizedSimulator:
             active &= ~(joined | neighbor_joined)
             rounds += 1
         mis = {int(v) for v in np.flatnonzero(in_mis)}
+        crashed_set = {int(v) for v in np.flatnonzero(crashed)}
         if validate:
-            verify_mis(self._graph, mis)
+            verify_mis(self._graph, mis, crashed=crashed_set)
         return EngineRun(
             rule_name=rule.name,
             num_vertices=n,
             rounds=rounds,
             mis=mis,
             beeps_by_node=beeps,
+            crashed=crashed_set,
         )

@@ -15,12 +15,13 @@ the paper's n = 1000.
 
 from __future__ import annotations
 
-from typing import Set, Tuple
+from typing import Dict, Set, Tuple
 
 import numpy as np
 
+from repro.beeping.faults import FaultModel, NO_FAULTS
 from repro.engine.rules import ProbabilityRule
-from repro.engine.simulator import EngineRun
+from repro.engine.simulator import EngineRun, faulty_observation
 from repro.graphs.graph import Graph
 from repro.graphs.validation import verify_mis
 
@@ -74,33 +75,44 @@ class SparseSimulator:
         """The simulated graph."""
         return self._graph
 
-    def _neighbor_or(self, flags: np.ndarray) -> np.ndarray:
-        """For each vertex, whether any neighbour's flag is set."""
+    def _neighbor_counts(self, flags: np.ndarray) -> np.ndarray:
+        """For each vertex, how many neighbours have their flag set."""
         n = self._graph.num_vertices
-        if n == 0:
-            return np.zeros(0, dtype=bool)
-        if self._columns.size == 0:
-            return np.zeros(n, dtype=bool)
+        if n == 0 or self._columns.size == 0:
+            return np.zeros(n, dtype=np.int64)
         # One trailing zero keeps every (unclamped) start in range, so
         # trailing empty segments never truncate the last real segment.
         gathered = np.zeros(self._columns.size + 1, dtype=np.int64)
         gathered[:-1] = flags[self._columns]
         # reduceat over CSR segments; empty segments (isolated vertices)
         # yield garbage, masked out below.
-        sums = np.add.reduceat(gathered, self._starts)
-        result = sums > 0
-        result[self._isolated] = False
-        return result
+        counts = np.add.reduceat(gathered, self._starts)
+        counts[self._isolated] = 0
+        return counts
+
+    def _neighbor_or(self, flags: np.ndarray) -> np.ndarray:
+        """For each vertex, whether any neighbour's flag is set."""
+        return self._neighbor_counts(flags) > 0
 
     def run(
         self,
         rule: ProbabilityRule,
         seed: int,
         validate: bool = False,
+        faults: FaultModel = NO_FAULTS,
     ) -> EngineRun:
-        """Execute one full simulation with the given rule and seed."""
+        """Execute one full simulation with the given rule and seed.
+
+        Bit-identical to :meth:`VectorizedSimulator.run
+        <repro.engine.simulator.VectorizedSimulator.run>` under the same
+        seed and fault model (the two share the per-round draw order).
+        """
         n = self._graph.num_vertices
         rng = np.random.default_rng(seed)
+        loss = faults.beep_loss_probability
+        spurious = faults.spurious_beep_probability
+        crash_masks: Dict[int, np.ndarray] = faults.crash_schedule.round_masks(n)
+        crashed = np.zeros(n, dtype=bool)
         active = np.ones(n, dtype=bool)
         in_mis = np.zeros(n, dtype=bool)
         probabilities = rule.initial(n)
@@ -111,23 +123,40 @@ class SparseSimulator:
                 raise RuntimeError(
                     f"sparse simulation exceeded {self._max_rounds} rounds"
                 )
+            crash = crash_masks.get(rounds)
+            if crash is not None:
+                newly_crashed = active & crash
+                crashed |= newly_crashed
+                active &= ~newly_crashed
             uniforms = rng.random(n)
             beep = active & (uniforms < probabilities)
-            heard = self._neighbor_or(beep)
+            counts = self._neighbor_counts(beep)
+            heard_true = counts > 0
+            if loss > 0.0 or spurious > 0.0:
+                loss_uniforms = rng.random(n) if loss > 0.0 else None
+                spurious_uniforms = rng.random(n) if spurious > 0.0 else None
+                heard = faulty_observation(
+                    counts, loss, spurious, loss_uniforms, spurious_uniforms
+                )
+            else:
+                heard = heard_true
             probabilities = rule.update(probabilities, heard, active, rounds)
-            joined = beep & ~heard
+            # Second exchange stays reliable: joins come from the true OR.
+            joined = beep & ~heard_true
             in_mis |= joined
             neighbor_joined = self._neighbor_or(joined)
             beeps += beep
             active &= ~(joined | neighbor_joined)
             rounds += 1
         mis: Set[int] = {int(v) for v in np.flatnonzero(in_mis)}
+        crashed_set = {int(v) for v in np.flatnonzero(crashed)}
         if validate:
-            verify_mis(self._graph, mis)
+            verify_mis(self._graph, mis, crashed=crashed_set)
         return EngineRun(
             rule_name=rule.name,
             num_vertices=n,
             rounds=rounds,
             mis=mis,
             beeps_by_node=beeps,
+            crashed=crashed_set,
         )

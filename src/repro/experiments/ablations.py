@@ -10,8 +10,11 @@ Three sweeps, each varying one thing the paper says should not matter much:
   observation channel (beyond the paper: the "robust in practice" claim
   under an explicitly noisy radio).
 
-Factor and initial-probability sweeps run on the vectorised engine; the
-fault sweep needs the reference engine's fault injection.
+Factor and initial-probability sweeps run on the vectorised engine.  The
+fault sweep here keeps the per-node reference engine (fresh graph per
+trial, per-edge loss draws); the cached, fleet-vectorised robustness grid
+lives in :mod:`repro.experiments.robustness` and is what the
+``repro robustness`` CLI command drives.
 """
 
 from __future__ import annotations

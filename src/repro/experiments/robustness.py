@@ -1,0 +1,108 @@
+"""Robustness sweeps: the Section 6 fault grid, cached and fleet-fast.
+
+The paper claims the feedback algorithm is "highly robust"; this driver
+turns that claim into a reproducible grid.  Every (beep loss, spurious
+beep) combination is one :class:`~repro.sweep.spec.CellSpec` executed
+through the sharded sweep orchestrator, so a robustness grid
+
+- runs on the trial-parallel fleet engine by default (vectorised fault
+  masks — see ``docs/robustness.md``), orders of magnitude faster than
+  the per-node reference channel;
+- lands in the content-addressed result store: fault parameters are part
+  of every shard's cache key, so regenerating a grid against a warm cache
+  executes zero simulations and extending it only runs the new cells.
+
+All cells share one master seed, so fault levels are compared on
+identical graphs and identical clean randomness (paired comparison); only
+the injected faults differ.  ``repro robustness`` is the CLI front-end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.experiments.records import ExperimentResult
+from repro.sweep.aggregate import cell_point
+from repro.sweep.orchestrator import SweepReport, run_sweep
+from repro.sweep.spec import CellSpec, SweepSpec
+from repro.sweep.store import PathLike
+
+
+def robustness_grid(
+    algorithm: str = "feedback",
+    engine: str = "fleet",
+    n: int = 100,
+    edge_probability: float = 0.5,
+    loss_probabilities: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
+    spurious_probabilities: Sequence[float] = (0.0, 0.05, 0.1),
+    crashes: Sequence[Tuple[int, int]] = (),
+    trials: int = 32,
+    graphs: int = 1,
+    master_seed: int = 1603,
+    quantity: str = "rounds",
+    shard_trials: int = 32,
+    jobs: int = 1,
+    cache_dir: Optional[PathLike] = None,
+    max_rounds: int = 100_000,
+) -> Tuple[ExperimentResult, SweepReport]:
+    """Sweep a fault grid and summarise it as one experiment record.
+
+    One series per beep-loss level, with the spurious-beep probability on
+    the x-axis — the natural "rounds degrade gracefully with noise"
+    figure.  ``crashes`` (``(round, vertex)`` pairs) apply to *every*
+    cell, so the grid can also be run entirely under a crash schedule.
+    Returns the summarised :class:`ExperimentResult` plus the orchestrator
+    report (total/executed/cached shard counts).
+    """
+    if not loss_probabilities or not spurious_probabilities:
+        raise ValueError("need at least one loss and one spurious level")
+    cells = []
+    for loss in loss_probabilities:
+        for spurious in spurious_probabilities:
+            cells.append(
+                CellSpec(
+                    algorithm=algorithm,
+                    engine=engine,
+                    family="gnp",
+                    n=n,
+                    edge_probability=edge_probability,
+                    trials=trials,
+                    graphs=graphs,
+                    master_seed=master_seed,
+                    beep_loss=loss,
+                    spurious_beep=spurious,
+                    crashes=tuple(crashes),
+                    max_rounds=max_rounds,
+                )
+            )
+    spec = SweepSpec(tuple(cells), shard_trials=shard_trials)
+    sweep = run_sweep(spec, store=cache_dir, jobs=jobs)
+    points = [
+        cell_point(
+            cell,
+            sweep.rows(cell),
+            quantity,
+            series=f"loss={cell.beep_loss}",
+            x=cell.spurious_beep,
+            extra={"loss": cell.beep_loss, "spurious": cell.spurious_beep},
+        )
+        for cell in cells
+    ]
+    result = ExperimentResult(
+        experiment="robustness",
+        points=points,
+        master_seed=master_seed,
+        parameters={
+            "algorithm": algorithm,
+            "engine": engine,
+            "n": n,
+            "edge_probability": edge_probability,
+            "loss_probabilities": list(loss_probabilities),
+            "spurious_probabilities": list(spurious_probabilities),
+            "crashes": [list(pair) for pair in crashes],
+            "trials": trials,
+            "graphs": graphs,
+            "quantity": quantity,
+        },
+    )
+    return result, sweep.report

@@ -2,12 +2,16 @@
 
 Two runners share the :class:`TrialOutcome` record:
 
-- :func:`run_trials` drives the *reference* engine — what the robustness
-  ablations and any experiment needing traces, faults or non-uniform node
-  policies use.
-- :func:`run_fleet_trials` drives the trial-parallel fleet engine for
-  fault-free vectorised workloads: trials are grouped per graph and each
-  group is one lockstep :class:`~repro.engine.fleet.FleetSimulator` batch.
+- :func:`run_trials` drives the per-node *reference* engine — what any
+  experiment needing traces or non-uniform node policies uses.
+- :func:`run_fleet_trials` drives the trial-parallel fleet engine: trials
+  are grouped per graph and each group is one lockstep
+  :class:`~repro.engine.fleet.FleetSimulator` batch.
+
+Both accept a :class:`~repro.beeping.faults.FaultModel` — robustness
+sweeps run on the fleet engine too (vectorised beep loss, spurious beeps
+and crash schedules; see ``docs/robustness.md``); the reference runner is
+the slower, instrumented alternative and agrees with it in law.
 
 Both accept a ``trial_range=(lo, hi)`` window: only global trials
 ``lo .. hi-1`` are executed, with exactly the seeds they would consume in
@@ -115,8 +119,9 @@ def run_fleet_trials(
     validate: bool = True,
     max_rounds: int = 100_000,
     trial_range: Optional[Tuple[int, int]] = None,
+    faults: FaultModel = NO_FAULTS,
 ) -> List[TrialOutcome]:
-    """Run ``trials`` fault-free trials on the trial-parallel fleet engine.
+    """Run ``trials`` trials on the trial-parallel fleet engine.
 
     The trials are spread over ``graphs`` independently drawn graphs (the
     fleet engine batches trials *per graph*), each group simulated as one
@@ -124,7 +129,9 @@ def run_fleet_trials(
     ``(g, 0)`` and its trial seeds on the disjoint path ``(g, 1, trial)``,
     so graph topology and simulation randomness are independent, and
     outcomes are reproducible and identical to a per-trial loop over the
-    same seeds.  Beep accounting mirrors the reference engine's: a beep is
+    same seeds.  ``faults`` injects the vectorised fault model into every
+    trial (a fault-free model changes nothing, including the random
+    streams).  Beep accounting mirrors the reference engine's: a beep is
     one 1-bit message per incident channel.
 
     ``trial_range=(lo, hi)`` executes only the global trials ``lo .. hi-1``.
@@ -160,7 +167,9 @@ def run_fleet_trials(
             count=group_hi - group_lo,
             start=group_lo - group_start,
         )
-        run = simulator.run_fleet(rule_factory(), seeds, validate=validate)
+        run = simulator.run_fleet(
+            rule_factory(), seeds, validate=validate, faults=faults
+        )
         for t in range(group_hi - group_lo):
             channel_bits = int((run.beeps_by_node[t] * degrees).sum())
             outcomes.append(

@@ -71,8 +71,18 @@ def is_maximal_independent_set(graph: Graph, vertices: Iterable[int]) -> bool:
     )
 
 
-def verify_mis(graph: Graph, vertices: Iterable[int]) -> Set[int]:
+def verify_mis(
+    graph: Graph,
+    vertices: Iterable[int],
+    crashed: Iterable[int] = (),
+) -> Set[int]:
     """Assert that ``vertices`` is an MIS of ``graph`` and return it as a set.
+
+    ``crashed`` names fail-stop vertices that left the system mid-run:
+    they must not appear in the set, and they are exempt from the
+    maximality requirement (a crashed vertex may legitimately be uncovered)
+    — the same contract as
+    :meth:`repro.beeping.scheduler.SimulationResult.verify`.
 
     Raises
     ------
@@ -80,6 +90,12 @@ def verify_mis(graph: Graph, vertices: Iterable[int]) -> Set[int]:
         With a message pinpointing the violated edge or uncovered vertex.
     """
     vertex_set = _as_checked_set(graph, vertices)
+    crashed_set = set(crashed)
+    in_both = vertex_set & crashed_set
+    if in_both:
+        raise MISValidationError(
+            f"crashed vertex {min(in_both)} is in the MIS"
+        )
     violations = independent_set_violations(graph, vertex_set)
     if violations:
         u, w = violations[0]
@@ -87,7 +103,11 @@ def verify_mis(graph: Graph, vertices: Iterable[int]) -> Set[int]:
             f"set is not independent: edge ({u}, {w}) has both endpoints "
             f"in the set ({len(violations)} violating edges in total)"
         )
-    uncovered = uncovered_vertices(graph, vertex_set)
+    uncovered = [
+        v
+        for v in uncovered_vertices(graph, vertex_set)
+        if v not in crashed_set
+    ]
     if uncovered:
         raise MISValidationError(
             f"set is not maximal: vertex {uncovered[0]} is neither in the "

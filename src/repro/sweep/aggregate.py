@@ -50,17 +50,20 @@ def cell_point(
     quantity: str,
     series: Optional[str] = None,
     extra: Optional[Dict[str, float]] = None,
+    x: Optional[float] = None,
 ) -> SeriesPoint:
     """Summarise one cell's rows as one :class:`SeriesPoint`.
 
     The series name defaults to the cell's algorithm and ``x`` to its
-    graph size, which is what every figure driver wants.
+    graph size, which is what every figure driver wants; drivers whose
+    independent variable is not the size (e.g. the robustness grid's
+    spurious-beep rate) override ``x``.
     """
     values = [outcome_value(row, quantity) for row in rows]
     mean, std = summarize(values)
     return SeriesPoint(
         series=cell.algorithm if series is None else series,
-        x=float(cell.num_vertices),
+        x=float(cell.num_vertices) if x is None else float(x),
         mean=mean,
         std=std,
         trials=len(values),

@@ -89,6 +89,7 @@ def execute_shard(shard: ShardSpec) -> List[TrialOutcome]:
         validate=cell.validate,
         max_rounds=cell.max_rounds,
         trial_range=window,
+        faults=cell.fault_model(),
     )
 
 

@@ -70,11 +70,16 @@ class CellSpec:
     selects execution semantics:
 
     - ``"fleet"`` — :func:`repro.experiments.runner.run_fleet_trials`:
-      ``trials`` spread over ``graphs`` lockstep groups, fault-free only,
-      ``algorithm`` names a :data:`FLEET_RULES` entry.
+      ``trials`` spread over ``graphs`` lockstep groups, ``algorithm``
+      names a :data:`FLEET_RULES` entry.
     - ``"reference"`` — :func:`repro.experiments.runner.run_trials`: a
-      fresh graph per trial, faults supported, ``algorithm`` names a
-      registry algorithm.
+      fresh graph per trial, ``algorithm`` names a registry algorithm.
+
+    Both engines support the fault fields (``beep_loss``,
+    ``spurious_beep``, ``crashes``) — fleet cells inject them as
+    vectorised per-edge/per-node masks, reference cells through the
+    per-node channel; robustness grids therefore get the fleet speedup
+    and the shard cache (see ``docs/robustness.md``).
     """
 
     algorithm: str
@@ -121,16 +126,12 @@ class CellSpec:
             "crashes",
             tuple(sorted((int(r), int(v)) for r, v in self.crashes)),
         )
+        self.fault_model()  # validates the fault fields for every engine
         if self.engine == "fleet":
             if self.algorithm not in FLEET_RULES:
                 raise ValueError(
                     f"fleet engine supports rules {sorted(FLEET_RULES)}, "
                     f"got {self.algorithm!r}"
-                )
-            if not self.fault_model().is_fault_free:
-                raise ValueError(
-                    "fleet cells are fault-free; use engine='reference' "
-                    "for fault-injected sweeps"
                 )
         elif self.algorithm not in available_algorithms():
             raise ValueError(

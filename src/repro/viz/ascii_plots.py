@@ -116,10 +116,11 @@ def plot_experiment(
     width: int = 72,
     height: int = 20,
     y_label: str = "mean",
+    x_label: str = "n",
 ) -> str:
     """Plot every series of an :class:`ExperimentResult` (means only)."""
     plot = AsciiPlot(
-        width=width, height=height, x_label="n", y_label=y_label
+        width=width, height=height, x_label=x_label, y_label=y_label
     )
     for name in result.series_names():
         plot.add_series(name, result.xs(name), result.means(name))

@@ -18,6 +18,7 @@ from typing import Callable
 
 import pytest
 
+from repro.beeping.faults import FaultModel, NO_FAULTS
 from repro.engine.fleet import FleetSimulator
 from repro.engine.rules import (
     FeedbackRule,
@@ -53,21 +54,22 @@ def engine_run(
     seed: int,
     validate: bool = False,
     max_rounds: int = 100_000,
+    faults: FaultModel = NO_FAULTS,
 ) -> EngineRun:
     """One seeded trial on the engine named by ``engine_id``."""
     if engine_id == "dense":
         return VectorizedSimulator(graph, max_rounds=max_rounds).run(
-            rule_factory(), seed, validate=validate
+            rule_factory(), seed, validate=validate, faults=faults
         )
     if engine_id == "sparse":
         return SparseSimulator(graph, max_rounds=max_rounds).run(
-            rule_factory(), seed, validate=validate
+            rule_factory(), seed, validate=validate, faults=faults
         )
     if engine_id in ("fleet-dense", "fleet-sparse"):
         backend = engine_id.split("-", 1)[1]
         simulator = FleetSimulator(graph, max_rounds=max_rounds, backend=backend)
         return simulator.run_fleet(
-            rule_factory(), [seed], validate=validate
+            rule_factory(), [seed], validate=validate, faults=faults
         ).trial_run(0)
     raise ValueError(f"unknown engine id {engine_id!r}")
 

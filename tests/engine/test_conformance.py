@@ -3,13 +3,17 @@
 On a shared per-trial seed, the dense, sparse and fleet (both backends)
 engines must agree **bit for bit** — same round count, same MIS, same
 per-node beep counts — because they draw the identical random stream and
-compute the identical ``heard`` booleans.  The per-node reference engine
-consumes randomness differently, so it is held to MIS validity and
-distributional agreement instead.
+compute the identical ``heard`` booleans.  The agreement extends to
+fault-injected runs: all four engines share one per-round fault draw
+order (beep uniforms, loss uniforms, spurious uniforms) and one collapsed
+loss probability, so beep loss, spurious beeps and crash schedules keep
+the bit-equality intact.  The per-node reference engine consumes
+randomness differently, so it is held to MIS validity and distributional
+agreement instead.
 
 These tests are the refactoring guard-rail for the engine package: any
 semantic drift in one engine (round ordering, probability updates, seed
-derivation) breaks the agreement immediately.
+derivation, fault sampling) breaks the agreement immediately.
 """
 
 from __future__ import annotations
@@ -18,14 +22,21 @@ from random import Random
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.algorithms.afek_sweep import AfekSweepMIS
 from repro.algorithms.feedback import FeedbackMIS
+from repro.beeping.faults import CrashSchedule, FaultModel, NO_FAULTS
 from repro.beeping.rng import derive_seed
 from repro.engine.batch import run_batch, run_batch_loop
 from repro.engine.rules import FeedbackRule
 from repro.graphs.random_graphs import gnp_random_graph
-from repro.graphs.validation import verify_mis
+from repro.graphs.validation import (
+    is_independent_set,
+    uncovered_vertices,
+    verify_mis,
+)
 
 from tests.engine.conftest import ENGINE_IDS, engine_run, make_rule
 
@@ -112,6 +123,191 @@ class TestBatchConformance:
         )
         assert np.array_equal(auto.rounds, fleet.rounds)
         assert np.array_equal(auto.mean_beeps, fleet.mean_beeps)
+
+
+FAULT_MODELS = {
+    "beep-loss": FaultModel(beep_loss_probability=0.3),
+    "spurious": FaultModel(spurious_beep_probability=0.2),
+    "crashes": FaultModel(
+        crash_schedule=CrashSchedule.from_pairs(((1, 0), (1, 3), (2, 6)))
+    ),
+    "loss+spurious": FaultModel(
+        beep_loss_probability=0.2, spurious_beep_probability=0.1
+    ),
+    "all-three": FaultModel(
+        beep_loss_probability=0.15,
+        spurious_beep_probability=0.1,
+        crash_schedule=CrashSchedule.from_pairs(((0, 2), (3, 5))),
+    ),
+}
+
+
+class TestFaultConformance:
+    """Fault injection preserves the four-way bit-equality."""
+
+    @pytest.mark.parametrize(
+        "fault_id", list(FAULT_MODELS), ids=list(FAULT_MODELS)
+    )
+    @pytest.mark.parametrize("rule_name", ("feedback", "afek-sweep"))
+    def test_all_engines_agree_exactly_under_faults(
+        self, conformance_graph, rule_name, fault_id
+    ):
+        graph = conformance_graph
+        faults = FAULT_MODELS[fault_id]
+        fault_index = list(FAULT_MODELS).index(fault_id)
+        seed = derive_seed(
+            MASTER_SEED, graph.num_vertices, graph.num_edges, fault_index
+        )
+        runs = {
+            engine_id: engine_run(
+                engine_id,
+                graph,
+                lambda: make_rule(rule_name, graph),
+                seed,
+                validate=True,
+                faults=faults,
+            )
+            for engine_id in ENGINE_IDS
+        }
+        baseline = runs["dense"]
+        for engine_id, run in runs.items():
+            assert run.rounds == baseline.rounds, engine_id
+            assert run.mis == baseline.mis, engine_id
+            assert run.crashed == baseline.crashed, engine_id
+            assert np.array_equal(
+                run.beeps_by_node, baseline.beeps_by_node
+            ), engine_id
+
+    def test_fault_free_model_changes_nothing(self, engine_id):
+        """NO_FAULTS draws no extra randomness: identical to no argument."""
+        graph = gnp_random_graph(30, 0.3, Random(5))
+        plain = engine_run(graph=graph, engine_id=engine_id,
+                           rule_factory=FeedbackRule, seed=91)
+        explicit = engine_run(graph=graph, engine_id=engine_id,
+                              rule_factory=FeedbackRule, seed=91,
+                              faults=NO_FAULTS)
+        assert plain.rounds == explicit.rounds
+        assert plain.mis == explicit.mis
+        assert np.array_equal(plain.beeps_by_node, explicit.beeps_by_node)
+
+    def test_noise_actually_perturbs_the_run(self):
+        """Fault equality is not vacuous: noise changes some trace."""
+        graph = gnp_random_graph(30, 0.4, Random(8))
+        differing = 0
+        for offset in range(5):
+            clean = engine_run("dense", graph, FeedbackRule, 3000 + offset)
+            noisy = engine_run(
+                "dense", graph, FeedbackRule, 3000 + offset,
+                faults=FaultModel(beep_loss_probability=0.5),
+            )
+            if clean.rounds != noisy.rounds or not np.array_equal(
+                clean.beeps_by_node, noisy.beeps_by_node
+            ):
+                differing += 1
+        assert differing > 0
+
+    def test_total_loss_still_terminates_and_agrees(self):
+        """loss=1.0 (silent feedback channel) on a low-degree graph: the
+        run degrades but terminates, and the engines still agree."""
+        from repro.graphs.structured import grid_graph
+
+        graph = grid_graph(5, 4)
+        faults = FaultModel(beep_loss_probability=1.0)
+        runs = {
+            engine_id: engine_run(
+                engine_id, graph, FeedbackRule, 555, validate=True,
+                faults=faults,
+            )
+            for engine_id in ENGINE_IDS
+        }
+        baseline = runs["dense"]
+        for engine_id, run in runs.items():
+            assert run.rounds == baseline.rounds, engine_id
+            assert run.mis == baseline.mis, engine_id
+
+    def test_crashed_vertices_recorded_and_excluded(self):
+        """A crash before any beep keeps the vertex out of the MIS."""
+        graph = gnp_random_graph(20, 0.3, Random(12))
+        faults = FaultModel(
+            crash_schedule=CrashSchedule.from_pairs(((0, 4), (0, 11)))
+        )
+        run = engine_run(
+            "fleet-dense", graph, FeedbackRule, 77, validate=True,
+            faults=faults,
+        )
+        assert run.crashed == {4, 11}
+        assert not run.mis & run.crashed
+
+    @pytest.mark.parametrize("rule_name", ("feedback", "afek-sweep"))
+    def test_fleet_batch_matches_loop_under_faults(self, rule_name):
+        graph = gnp_random_graph(40, 0.3, Random(21))
+        faults = FaultModel(
+            beep_loss_probability=0.2,
+            spurious_beep_probability=0.1,
+            crash_schedule=CrashSchedule.from_pairs(((2, 1),)),
+        )
+        loop = run_batch_loop(
+            graph,
+            lambda: make_rule(rule_name, graph),
+            12,
+            MASTER_SEED,
+            faults=faults,
+        )
+        fleet = run_batch(
+            graph,
+            lambda: make_rule(rule_name, graph),
+            12,
+            MASTER_SEED,
+            engine="fleet",
+            faults=faults,
+        )
+        assert np.array_equal(fleet.rounds, loop.rounds)
+        assert np.array_equal(fleet.mean_beeps, loop.mean_beeps)
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(
+    n=st.integers(min_value=1, max_value=40),
+    edge_probability=st.floats(min_value=0.0, max_value=1.0),
+    graph_seed=st.integers(min_value=0, max_value=2**31),
+    trial_seed=st.integers(min_value=0, max_value=2**31),
+    # Heavy loss on a dense graph approaches the no-feedback regime whose
+    # expected round count is exponential in the degree; 0.6 keeps every
+    # draw comfortably inside the round budget.
+    loss=st.floats(min_value=0.0, max_value=0.6),
+    spurious=st.floats(min_value=0.0, max_value=0.4),
+    crash_pairs=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=6),
+            st.integers(min_value=0, max_value=39),
+        ),
+        max_size=6,
+    ),
+    engine_id=st.sampled_from(ENGINE_IDS),
+)
+def test_faulty_runs_still_output_valid_independent_sets(
+    n, edge_probability, graph_seed, trial_seed, loss, spurious, crash_pairs,
+    engine_id,
+):
+    """Whatever the noise, the output is independent and maximal over
+    the survivors — noise may slow the run down but never corrupt it."""
+    graph = gnp_random_graph(n, edge_probability, Random(graph_seed))
+    faults = FaultModel(
+        beep_loss_probability=loss,
+        spurious_beep_probability=spurious,
+        crash_schedule=CrashSchedule.from_pairs(crash_pairs),
+    )
+    run = engine_run(
+        engine_id, graph, FeedbackRule, trial_seed, max_rounds=50_000,
+        faults=faults,
+    )
+    assert is_independent_set(graph, run.mis)
+    assert not run.mis & run.crashed
+    assert run.crashed <= set(range(n))
+    uncovered = set(uncovered_vertices(graph, run.mis))
+    assert uncovered <= run.crashed
+    # And the crash-aware verifier agrees.
+    verify_mis(graph, run.mis, crashed=run.crashed)
 
 
 class TestReferenceAgreement:

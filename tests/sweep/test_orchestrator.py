@@ -48,6 +48,7 @@ def fleet_oracle(cell):
         cell.master_seed,
         graphs=cell.graphs,
         validate=cell.validate,
+        faults=cell.fault_model(),
     )
 
 
@@ -113,6 +114,27 @@ class TestBitIdenticalToSequential:
         )
         assert result.rows(cell) == expected
 
+    def test_faulted_fleet_cell_matches_run_fleet_trials(self, tmp_path):
+        """ISSUE 3 acceptance: fault-injected fleet cells shard exactly."""
+        cell = CellSpec(
+            algorithm="feedback",
+            engine="fleet",
+            family="gnp",
+            n=24,
+            edge_probability=0.3,
+            trials=9,
+            graphs=2,
+            master_seed=41,
+            beep_loss=0.2,
+            spurious_beep=0.1,
+            crashes=((1, 2), (3, 7)),
+        )
+        result = run_sweep(
+            SweepSpec((cell,), shard_trials=4), store=ResultStore(tmp_path),
+            jobs=2,
+        )
+        assert result.rows(cell) == fleet_oracle(cell)
+
 
 class TestStoreResume:
     """ISSUE acceptance: a repeated sweep executes zero shards."""
@@ -131,6 +153,27 @@ class TestStoreResume:
             manifest = store.manifest(shard)
             assert manifest is not None
             assert manifest.rows == shard.trials
+
+    def test_robustness_grid_is_fully_cached_on_rerun(self, tmp_path):
+        """ISSUE 3 acceptance: a warm fault-grid sweep re-runs 0 shards."""
+        from repro.experiments.robustness import robustness_grid
+
+        kwargs = dict(
+            n=20,
+            trials=6,
+            loss_probabilities=(0.0, 0.2),
+            spurious_probabilities=(0.0, 0.1),
+            crashes=((1, 3),),
+            master_seed=5,
+            shard_trials=3,
+            cache_dir=tmp_path,
+        )
+        cold_result, cold_report = robustness_grid(**kwargs)
+        assert cold_report.shards_executed == cold_report.shards_total > 0
+        warm_result, warm_report = robustness_grid(**kwargs)
+        assert warm_report.shards_executed == 0
+        assert warm_report.shards_cached == warm_report.shards_total
+        assert warm_result.points == cold_result.points
 
     def test_partial_cache_executes_only_missing_shards(self, tmp_path):
         store = ResultStore(tmp_path)

@@ -57,9 +57,17 @@ class TestCellValidation:
         with pytest.raises(ValueError, match="unknown algorithm"):
             reference_cell(algorithm="bogus")
 
-    def test_rejects_faults_on_fleet_engine(self):
-        with pytest.raises(ValueError, match="fault-free"):
-            fleet_cell(spurious_beep=0.1)
+    def test_fleet_engine_accepts_faults(self):
+        cell = fleet_cell(
+            beep_loss=0.1, spurious_beep=0.1, crashes=((2, 4),)
+        )
+        assert not cell.fault_model().is_fault_free
+
+    def test_rejects_bad_fault_probability(self):
+        with pytest.raises(ValueError, match="beep_loss_probability"):
+            fleet_cell(beep_loss=1.5)
+        with pytest.raises(ValueError, match="spurious_beep_probability"):
+            reference_cell(spurious_beep=-0.1)
 
     def test_reference_engine_accepts_faults(self):
         cell = reference_cell(beep_loss=0.05, crashes=((3, 1), (1, 0)))
@@ -126,6 +134,9 @@ class TestShardHash:
             {"trials": 65},
             {"graphs": 5},
             {"max_rounds": 50_000},
+            {"beep_loss": 0.1},
+            {"spurious_beep": 0.05},
+            {"crashes": ((2, 4),)},
         ],
     )
     def test_fleet_hash_covers_execution_fields(self, override):

@@ -89,6 +89,59 @@ class TestSweep:
         assert "feedback" in capsys.readouterr().out
 
 
+class TestRobustness:
+    def test_cold_then_warm_fault_grid(self, capsys, tmp_path):
+        args = [
+            "robustness",
+            "--nodes", "20",
+            "--trials", "4",
+            "--loss", "0.0", "0.2",
+            "--spurious", "0.0", "0.1",
+            "--crash", "1:3",
+            "--cache-dir", str(tmp_path),
+            "--csv",
+        ]
+        assert main(args) == 0
+        out, err = capsys.readouterr()
+        assert "series,x,mean,std,trials" in out
+        assert "loss=0.2" in out
+        assert "executed=4" in err
+        # Warm rerun: the whole fault grid is served from the store.
+        assert main(args) == 0
+        warm, warm_err = capsys.readouterr()
+        assert "executed=0" in warm_err
+        assert warm == out
+
+    def test_plot_output(self, capsys):
+        assert main([
+            "robustness",
+            "--nodes", "16",
+            "--trials", "3",
+            "--loss", "0.0",
+            "--spurious", "0.0", "0.2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "spurious probability" in out
+        assert "legend:" in out
+
+    def test_reference_engine_grid(self, capsys):
+        assert main([
+            "robustness",
+            "--engine", "reference",
+            "--nodes", "12",
+            "--trials", "2",
+            "--loss", "0.1",
+            "--spurious", "0.0",
+            "--csv",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("series,x,mean,std,trials\nloss=0.1,")
+
+    def test_rejects_malformed_crash_entry(self):
+        with pytest.raises(SystemExit):
+            main(["robustness", "--crash", "nope"])
+
+
 class TestFigures:
     def test_figure3_csv(self, capsys):
         assert main(

@@ -1,0 +1,54 @@
+"""Documentation link integrity.
+
+Every relative markdown link in README.md and docs/*.md must point at a
+file (or directory) that exists in the repository, so the docs cannot
+silently rot as files move.  External links (with a URL scheme) and pure
+in-page anchors are skipped — this is a structural check, not a crawler.
+It doubles as the CI "docs link-check" step.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")]
+)
+
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def relative_links(markdown: str):
+    """All relative link targets (scheme-less, non-anchor) in a document."""
+    for target in _LINK.findall(markdown):
+        if "://" in target or target.startswith(("mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+def test_doc_files_present():
+    names = {path.name for path in DOC_FILES}
+    assert "README.md" in names
+    assert "TUTORIAL.md" in names
+    assert "robustness.md" in names
+    assert "architecture.md" in names
+
+
+@pytest.mark.parametrize(
+    "doc", DOC_FILES, ids=[str(p.relative_to(REPO_ROOT)) for p in DOC_FILES]
+)
+def test_relative_links_resolve(doc):
+    text = doc.read_text(encoding="utf-8")
+    missing = [
+        target
+        for target in relative_links(text)
+        if target and not (doc.parent / target).exists()
+    ]
+    assert not missing, (
+        f"{doc.relative_to(REPO_ROOT)} has dangling links: {missing}"
+    )
