@@ -18,7 +18,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import report
+from benchmarks.conftest import report, write_bench_result
 from repro.beeping.rng import spawn_rng
 from repro.engine.batch import run_batch, run_batch_loop
 from repro.engine.rules import FeedbackRule
@@ -99,6 +99,17 @@ def test_fleet_speedup_floor():
         format_table(
             ["n", "trials", "loop (ms)", "fleet (ms)", "speedup"], rows
         ),
+    )
+    write_bench_result(
+        "fleet_speedup",
+        params={
+            "sizes": list(SIZES),
+            "trials": TRIALS,
+            "edge_probability": 0.5,
+            "master_seed": MASTER_SEED,
+        },
+        results={"measurements": measurements},
+        floor=2.0,
     )
     at_1000 = measurements[-1]
     assert at_1000["n"] == 1000

@@ -15,9 +15,11 @@ Run with ``pytest benchmarks/ --benchmark-only``.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
-from typing import Tuple
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
 
 import pytest
 
@@ -90,3 +92,36 @@ def report(title: str, body: str) -> None:
     """Print a framed reproduction report (captured into bench output)."""
     bar = "=" * 78
     print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+def write_bench_result(
+    name: str,
+    params: Dict[str, Any],
+    results: Dict[str, Any],
+    floor: Optional[float] = None,
+) -> Path:
+    """Write one benchmark's machine-readable record, ``BENCH_<name>.json``.
+
+    The perf trajectory across PRs is tracked from these files (CI uploads
+    them as artefacts), so the payload is deliberately *timestamp-free*
+    and fully deterministic apart from the measured numbers: ``params``
+    holds the workload description (sizes, trials, seeds — reproducible
+    inputs only), ``results`` the measurements (seconds, speedups), and
+    ``floor`` the CI-enforced minimum speedup, if the bench has one.
+
+    Files land in ``REPRO_BENCH_DIR`` (default: the working directory, the
+    repo root under ``pytest benchmarks/...``).
+    """
+    payload: Dict[str, Any] = {
+        "bench": name,
+        "scale": current_scale().name,
+        "params": params,
+        "results": results,
+    }
+    if floor is not None:
+        payload["floor"] = floor
+    directory = Path(os.environ.get("REPRO_BENCH_DIR", "."))
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -5,6 +5,21 @@ same results regardless of process, trial ordering or parallelism.  We get
 that with an explicit splitmix64-based *seed derivation* — every trial,
 node or subsystem derives its own independent 64-bit seed from the master
 seed plus a path of integers — instead of sharing one mutable RNG.
+
+Two uniform-stream disciplines build on the derived seeds
+(:data:`RNG_MODES`):
+
+- ``"stream"`` — each derived seed boots a sequential generator
+  (``random.Random`` or ``numpy.random.default_rng``) whose draws depend
+  on everything drawn before them.  This is the original discipline; its
+  byte streams are pinned by the golden-trace tests.
+- ``"counter"`` — :func:`counter_uniforms` / :func:`uniform_block`: every
+  uniform is a *pure function* of ``(seed, round, draw kind, lane)``,
+  computed as one vectorised splitmix64 pass.  No generator objects, no
+  sequential state — a whole ``(trials, n)`` block of a round's uniforms
+  is one numpy call, any sub-block equals the matching slice of the full
+  block, and skipping a draw never shifts any other draw.  This is the
+  fleet/sweep hot-path discipline.
 """
 
 from __future__ import annotations
@@ -14,6 +29,23 @@ from typing import Iterator
 
 _MASK64 = (1 << 64) - 1
 _GOLDEN_GAMMA = 0x9E3779B97F4A7C15
+_MIX_1 = 0xBF58476D1CE4E5B9
+_MIX_2 = 0x94D049BB133111EB
+
+#: The two uniform-stream disciplines the fast engines support.
+RNG_MODES = ("stream", "counter")
+
+#: Draw-kind indices for the counter discipline.  A round consumes up to
+#: three independent uniform blocks — beep, then loss, then spurious —
+#: and the kind index keeps their counter domains disjoint, so enabling
+#: or disabling a fault kind never perturbs the other blocks.
+DRAW_BEEP = 0
+DRAW_LOSS = 1
+DRAW_SPURIOUS = 2
+
+#: Lane tables (``arange(n) * gamma``) for :func:`counter_uniforms`, keyed
+#: by ``n``; experiments touch only a handful of sizes.
+_LANES_CACHE: dict = {}
 
 
 def _splitmix64(state: int) -> int:
@@ -87,6 +119,178 @@ def derive_seed_block(master_seed: int, *path: int, count: int, start: int = 0):
     z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
     z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
     return z ^ (z >> np.uint64(31))
+
+
+def seed_array(seeds):
+    """``seeds`` as a ``uint64`` numpy array (values taken mod 2**64).
+
+    Accepts a scalar, any integer-dtype array, or a sequence of Python
+    ints (including values at or above 2**63, which object arrays would
+    otherwise mishandle).  Signed inputs wrap modulo 2**64, matching the
+    masking every derivation function applies.
+    """
+    import numpy as np
+
+    if isinstance(seeds, np.ndarray):
+        if seeds.dtype == np.uint64:
+            return seeds
+        if seeds.dtype.kind in "iu":
+            return seeds.astype(np.uint64)
+        seeds = seeds.tolist()
+    if isinstance(seeds, (int, np.integer)):
+        return np.asarray(int(seeds) & _MASK64, dtype=np.uint64)
+    # A (possibly nested) sequence of Python ints: go through an object
+    # array so values in [2**63, 2**64) never round through float64.
+    arr = np.asarray(seeds, dtype=object)
+    flat = [int(value) & _MASK64 for value in arr.reshape(-1)]
+    return np.asarray(flat, dtype=np.uint64).reshape(arr.shape)
+
+
+def counter_uniforms(seeds, round_index: int, draw_kind: int, n: int):
+    """Stateless uniforms in ``[0, 1)``, shape ``np.shape(seeds) + (n,)``.
+
+    The counter discipline: entry ``(..., v)`` is a pure function of the
+    corresponding seed and ``(round_index, draw_kind, v)`` — the seed
+    absorbs the round and the draw kind with the same vectorised
+    splitmix64 step :func:`derive_seed_block` uses for trailing indices,
+    then fans out over the ``n`` lanes in one pass.  Because nothing is
+    sequential, any subset of seeds yields exactly the matching rows of
+    the full block, and the uniforms for one ``draw_kind`` are unaffected
+    by whether any other kind is ever drawn.
+
+    Uniforms are the top 53 bits of the mixed counter scaled by ``2^-53``
+    (the standard double-precision mapping), so values are exactly
+    representable and strictly below 1.  ``round_index`` and ``draw_kind``
+    may be arbitrarily large; they are absorbed modulo 2**64.
+
+    >>> import numpy as np
+    >>> block = counter_uniforms([1, 2], 0, DRAW_BEEP, 3)
+    >>> block.shape
+    (2, 3)
+    >>> bool(np.all((block >= 0.0) & (block < 1.0)))
+    True
+    >>> np.array_equal(counter_uniforms(2, 0, DRAW_BEEP, 3), block[1])
+    True
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    import numpy as np
+
+    state = counter_state(seeds, round_index, draw_kind)
+    lanes = _LANES_CACHE.get(n)
+    if lanes is None:
+        # Tiny cache: experiments use a handful of distinct n values, and
+        # the lane table is the only per-call O(n) setup.
+        lanes = np.arange(n, dtype=np.uint64) * np.uint64(_GOLDEN_GAMMA)
+        _LANES_CACHE[n] = lanes
+    return _finish_lanes(state[..., np.newaxis] ^ lanes)
+
+
+def counter_state(seeds, round_index, draw_kind):
+    """The per-seed counter state after absorbing ``(round, kind)``.
+
+    ``counter_uniforms`` is ``_finish_lanes(state ^ lane)`` over the lane
+    table; exposing the absorbed state lets sparse consumers (the armada
+    frontier) evaluate single ``(seed, node)`` entries via
+    :func:`counter_uniforms_at` without materialising whole rows.
+
+    ``round_index`` (like ``draw_kind``) may be an int or an integer
+    array; arrays broadcast against ``seeds``, so e.g. a ``(B, 1)`` round
+    column yields the ``(B, len(seeds))`` state block of ``B`` future
+    rounds in one call — statelessness makes look-ahead free, and hot
+    loops use it to amortise the absorb overhead across rounds.
+    """
+    import numpy as np
+
+    gamma = np.uint64(_GOLDEN_GAMMA)
+    m1 = np.uint64(_MIX_1)
+    m2 = np.uint64(_MIX_2)
+
+    def absorb(state, index):
+        z = (state ^ (seed_array(index) * gamma)) + gamma
+        z = (z ^ (z >> np.uint64(30))) * m1
+        z = (z ^ (z >> np.uint64(27))) * m2
+        return z ^ (z >> np.uint64(31))
+
+    # uint64 wraparound is the point of the mix; numpy warns on scalar
+    # (0-d) overflow even though array ops wrap silently.
+    with np.errstate(over="ignore"):
+        return absorb(absorb(seed_array(seeds), round_index), draw_kind)
+
+
+def counter_uniforms_at(states, lane_indices):
+    """Uniforms at selected ``(state, lane)`` pairs, elementwise.
+
+    ``states`` are :func:`counter_state` values and ``lane_indices`` node
+    indices of matching shape; entry ``i`` equals
+    ``counter_uniforms(seed_i, round, kind, n)[lane_indices[i]]`` bit for
+    bit.  This is the sparse access path of the counter fabric: when only
+    a few lanes of a block are needed (the armada's frontier phase), cost
+    scales with the number of entries instead of ``trials * n``.
+    """
+    import numpy as np
+
+    lanes = lane_indices.astype(np.uint64) * np.uint64(_GOLDEN_GAMMA)
+    return _finish_lanes(np.asarray(states, dtype=np.uint64) ^ lanes)
+
+
+def _finish_lanes(z):
+    """The shared lane finisher: splitmix64 output fn, then top 53 bits.
+
+    ``z`` must be a *fresh* uint64 array holding ``state ^ (lane_index *
+    gamma)``; it is consumed destructively.  This is the hot path (the
+    fleet calls it every round for whole blocks), so it mixes in place —
+    two further allocations total.
+    """
+    import numpy as np
+
+    z += np.uint64(_GOLDEN_GAMMA)
+    scratch = z >> np.uint64(30)
+    z ^= scratch
+    z *= np.uint64(_MIX_1)
+    np.right_shift(z, np.uint64(27), out=scratch)
+    z ^= scratch
+    z *= np.uint64(_MIX_2)
+    np.right_shift(z, np.uint64(31), out=scratch)
+    z ^= scratch
+    z >>= np.uint64(11)
+    # uint64 -> float64 conversion of a 53-bit value is exact, and the
+    # power-of-two scale is exact, so this single fused pass equals
+    # astype-then-multiply bit for bit.
+    return z * (2.0 ** -53)
+
+
+def uniform_block(
+    master_seed: int,
+    *path: int,
+    round_index: int,
+    draw_kind: int,
+    count: int,
+    n: int,
+    start: int = 0,
+):
+    """One round's uniforms for a whole trial block: ``(count, n)`` float64.
+
+    Row ``t`` equals ``counter_uniforms(derive_seed(master_seed, *path,
+    start + t), round_index, draw_kind, n)`` bit for bit, so the block is
+    the counter-mode analogue of :func:`derive_seed_block`: a shard
+    computes exactly its own trial window, and offset windows equal the
+    matching slices of the full block —
+
+    >>> import numpy as np
+    >>> whole = uniform_block(7, 3, round_index=2, draw_kind=DRAW_BEEP,
+    ...                       count=6, n=4)
+    >>> shard = uniform_block(7, 3, round_index=2, draw_kind=DRAW_BEEP,
+    ...                       count=2, n=4, start=3)
+    >>> np.array_equal(shard, whole[3:5])
+    True
+    """
+    return counter_uniforms(
+        derive_seed_block(master_seed, *path, count=count, start=start),
+        round_index,
+        draw_kind,
+        n,
+    )
 
 
 def spawn_rng(master_seed: int, *path: int) -> Random:

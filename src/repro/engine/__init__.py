@@ -27,17 +27,29 @@ engines, all implementing the same two-exchange round semantics:
     benchmark; ``benchmarks/bench_fleet_speedup.py`` records the margin
     over the per-trial loop.
 
+**Armada** (:class:`ArmadaSimulator`)
+    The fleet lifted one dimension: every same-``n`` graph group of one
+    experiment cell in a single ``(trials, graphs * n)`` block-diagonal
+    batch — one batched GEMM or block-diagonal CSR ``reduceat`` pass per
+    round for the *whole cell*.  Counter rng mode only;
+    ``benchmarks/bench_counter_rng.py`` records the margin over the
+    per-graph stream path.
+
 Seed-derivation contract
 ------------------------
 Every batch derives trial seeds from one master seed with the splitmix64
 chain in :mod:`repro.beeping.rng`: trial ``t`` on graph ``g`` runs with
 ``derive_seed(master_seed, g, t)``, and
 ``derive_seed_block(master_seed, g, count=trials)`` produces the same
-seeds as one vectorised block.  Each trial then draws one
-``Generator.random(n)`` row per round from ``numpy``'s default PCG64.
-Because all engines consume randomness identically, **engine choice never
-changes results**: dense, sparse and fleet agree bit for bit on round
-counts, MIS membership and beep counts under a shared seed
+seeds as one vectorised block.  How a seed expands into per-round
+uniforms is the ``rng_mode``: in ``"stream"`` (the default) each trial
+draws one ``Generator.random(n)`` row per round from ``numpy``'s default
+PCG64; in ``"counter"`` every uniform is a stateless
+:func:`repro.beeping.rng.counter_uniforms` value, computed blockwise with
+no generator objects at all.  Because all engines consume randomness
+identically within a mode, **engine choice never changes results**:
+dense, sparse, fleet and armada agree bit for bit on round counts, MIS
+membership and beep counts under a shared seed and mode
 (``tests/engine/test_conformance.py`` enforces this), and the per-node
 reference engine agrees distributionally.  :func:`run_batch` picks the
 fleet engine automatically for trial-parallel rules and falls back to the
@@ -52,7 +64,7 @@ from repro.engine.rules import (
 )
 from repro.engine.simulator import EngineRun, VectorizedSimulator
 from repro.engine.sparse import SparseSimulator
-from repro.engine.fleet import FleetRun, FleetSimulator
+from repro.engine.fleet import ArmadaSimulator, FleetRun, FleetSimulator
 from repro.engine.batch import (
     BatchResult,
     run_batch,
@@ -60,6 +72,7 @@ from repro.engine.batch import (
 )
 
 __all__ = [
+    "ArmadaSimulator",
     "BatchResult",
     "EngineRun",
     "FeedbackRule",

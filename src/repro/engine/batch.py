@@ -23,7 +23,10 @@ Trial ``t`` of either strategy is seeded with
 bit and results never depend on which strategy ran.  Both accept a
 ``faults`` model (beep loss, spurious beeps, crashes — see
 :mod:`repro.beeping.faults`); the engines share one fault draw order, so
-the bit-equality holds for fault-injected batches too.
+the bit-equality holds for fault-injected batches too.  Both also accept
+an ``rng_mode`` (``"stream"``, the golden-trace-pinned default, or the
+stateless ``"counter"`` discipline — see :mod:`repro.beeping.rng`); the
+fleet/loop bit-equality holds within each mode.
 """
 
 from __future__ import annotations
@@ -87,12 +90,13 @@ def run_batch_loop(
     validate: bool = False,
     max_rounds: int = 100_000,
     faults: FaultModel = NO_FAULTS,
+    rng_mode: str = "stream",
 ) -> BatchResult:
     """The per-trial reference path: one simulator run per trial.
 
     ``rule_factory`` is called once per trial so stateful rules start
     fresh.  This is the oracle :func:`run_batch`'s fleet path is
-    cross-validated against.
+    cross-validated against (mode for mode).
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -104,7 +108,9 @@ def run_batch_loop(
         rule = rule_factory()
         rule_name = rule.name
         seed = derive_seed(master_seed, graph_index, trial)
-        run = simulator.run(rule, seed, validate=validate, faults=faults)
+        run = simulator.run(
+            rule, seed, validate=validate, faults=faults, rng_mode=rng_mode
+        )
         rounds[trial] = run.rounds
         mean_beeps[trial] = run.mean_beeps_per_node
     return BatchResult(
@@ -126,6 +132,7 @@ def run_batch(
     max_rounds: int = 100_000,
     engine: str = "auto",
     faults: FaultModel = NO_FAULTS,
+    rng_mode: str = "stream",
 ) -> BatchResult:
     """Run ``trials`` independent simulations of one rule on one graph.
 
@@ -134,6 +141,8 @@ def run_batch(
     execution strategy (``"auto"``, ``"fleet"`` or ``"loop"``; see module
     docstring) without affecting results; neither does ``faults`` depend
     on it — both strategies inject the same vectorised fault model.
+    ``rng_mode`` *does* affect results (the two disciplines draw different
+    uniforms) but never the fleet/loop agreement, which holds per mode.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -159,12 +168,15 @@ def run_batch(
             validate=validate,
             max_rounds=max_rounds,
             faults=faults,
+            rng_mode=rng_mode,
         )
     if rule is None:
         rule = rule_factory()
     seeds = derive_seed_block(master_seed, graph_index, count=trials)
     simulator = FleetSimulator(graph, max_rounds=max_rounds)
-    run = simulator.run_fleet(rule, seeds, validate=validate, faults=faults)
+    run = simulator.run_fleet(
+        rule, seeds, validate=validate, faults=faults, rng_mode=rng_mode
+    )
     return BatchResult(
         rule_name=run.rule_name,
         num_vertices=graph.num_vertices,

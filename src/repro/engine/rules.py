@@ -114,11 +114,28 @@ class FeedbackRule(ProbabilityRule):
         active: np.ndarray,
         round_index: int,
     ) -> np.ndarray:
-        down = probabilities * self._decrease_factor
-        up = np.minimum(
-            probabilities * self._increase_factor, self._max_probability
-        )
-        return np.where(heard, down, up)
+        # Scratch buffers are reused while the batch shape is stable (the
+        # engines call with one shape per phase), cutting three hot-loop
+        # allocations to none; the returned buffer may alias a previous
+        # return, which the engines' `p = rule.update(p, ...)` pattern
+        # permits.  Pure elementwise arithmetic — no semantic state.
+        down, result = self._scratch(probabilities.shape)
+        np.multiply(probabilities, self._decrease_factor, out=down)
+        np.multiply(probabilities, self._increase_factor, out=result)
+        np.minimum(result, self._max_probability, out=result)
+        np.copyto(result, down, where=heard)
+        return result
+
+    def _scratch(self, shape):
+        cached = getattr(self, "_scratch_buffers", None)
+        if cached is None or cached[0] != shape:
+            cached = (
+                shape,
+                np.empty(shape, dtype=np.float64),
+                np.empty(shape, dtype=np.float64),
+            )
+            self._scratch_buffers = cached
+        return cached[1], cached[2]
 
 
 class SweepRule(ProbabilityRule):
@@ -141,7 +158,14 @@ class SweepRule(ProbabilityRule):
         round_index: int,
     ) -> np.ndarray:
         shared = sweep_probability(round_index + 1)
-        return np.full_like(probabilities, shared)
+        # Same scratch discipline as FeedbackRule.update: reuse the
+        # result buffer while the batch shape is stable.
+        cached = getattr(self, "_scratch_buffer", None)
+        if cached is None or cached.shape != probabilities.shape:
+            cached = np.empty_like(probabilities)
+            self._scratch_buffer = cached
+        cached[:] = shared
+        return cached
 
 
 class GlobalScheduleRule(ProbabilityRule):

@@ -12,13 +12,26 @@ and spurious beeps become per-node Bernoulli draws perturbing the *heard*
 vector fed back to the probability rule (the join/retire exchange stays
 reliable, computed from the true beep vector), and a
 :class:`~repro.beeping.faults.CrashSchedule` becomes per-round updates of
-the active mask.  The per-round draw order — beep uniforms, then loss
-uniforms, then spurious uniforms, each a full ``rng.random(n)`` and only
-when the corresponding probability is non-zero — is the shared contract
-that keeps this engine, the sparse engine and the fleet engine bit-for-bit
-identical under one seed (``docs/robustness.md``).  The per-node reference
-engine consumes randomness differently and agrees in law only; use it when
-a robustness experiment needs traces or per-node instrumentation.
+the active mask.
+
+Randomness comes in two modes (``rng_mode``, see
+:data:`repro.beeping.rng.RNG_MODES`), and the cross-engine
+bit-reproducibility contract holds *within each mode*:
+
+- ``"stream"`` (the default): one sequential ``numpy`` generator per
+  seed.  The per-round draw order — beep uniforms, then loss uniforms,
+  then spurious uniforms, each a full ``rng.random(n)`` and only when the
+  corresponding probability is non-zero — is the shared contract that
+  keeps this engine, the sparse engine and the fleet engine bit-for-bit
+  identical under one seed (``docs/robustness.md``).
+- ``"counter"``: every uniform is a pure function of ``(seed, round,
+  draw kind, node)`` via :func:`repro.beeping.rng.counter_uniforms` — no
+  stream state at all, so draw *order* is irrelevant by construction and
+  the same four-way bit-equality holds trivially.
+
+The per-node reference engine consumes randomness differently and agrees
+in law only; use it when a robustness experiment needs traces or per-node
+instrumentation.
 """
 
 from __future__ import annotations
@@ -29,11 +42,26 @@ from typing import Dict, Optional, Set
 import numpy as np
 
 from repro.beeping.faults import FaultModel, NO_FAULTS
+from repro.beeping.rng import (
+    DRAW_BEEP,
+    DRAW_LOSS,
+    DRAW_SPURIOUS,
+    RNG_MODES,
+    counter_uniforms,
+)
 from repro.engine.rules import ProbabilityRule
 from repro.graphs.graph import Graph
 from repro.graphs.validation import verify_mis
 
 DEFAULT_MAX_ROUNDS = 100_000
+
+
+def check_rng_mode(rng_mode: str) -> None:
+    """Raise unless ``rng_mode`` names a supported discipline."""
+    if rng_mode not in RNG_MODES:
+        raise ValueError(
+            f"rng_mode must be one of {RNG_MODES}, got {rng_mode!r}"
+        )
 
 
 def faulty_observation(
@@ -113,14 +141,20 @@ class VectorizedSimulator:
         seed: int,
         validate: bool = False,
         faults: FaultModel = NO_FAULTS,
+        rng_mode: str = "stream",
     ) -> EngineRun:
         """Execute one full simulation with the given rule and seed.
 
         A fault-free ``faults`` model draws no extra randomness, so the
-        run is bit-identical to one without the argument.
+        run is bit-identical to one without the argument.  ``rng_mode``
+        selects the uniform-stream discipline (see module docstring); the
+        two modes draw different uniforms, so they give different — both
+        valid and reproducible — trajectories.
         """
+        check_rng_mode(rng_mode)
         n = self._graph.num_vertices
-        rng = np.random.default_rng(seed)
+        counter = rng_mode == "counter"
+        rng = None if counter else np.random.default_rng(seed)
         loss = faults.beep_loss_probability
         spurious = faults.spurious_beep_probability
         crash_masks: Dict[int, np.ndarray] = faults.crash_schedule.round_masks(n)
@@ -142,7 +176,10 @@ class VectorizedSimulator:
                 newly_crashed = active & crash
                 crashed |= newly_crashed
                 active &= ~newly_crashed
-            uniforms = rng.random(n)
+            if counter:
+                uniforms = counter_uniforms(seed, rounds, DRAW_BEEP, n)
+            else:
+                uniforms = rng.random(n)
             beep = active & (uniforms < probabilities)
             # Count of beeping neighbours, then the one-bit OR observation.
             # int32 vectors: a uint8 product would overflow beyond 255
@@ -150,8 +187,22 @@ class VectorizedSimulator:
             neighbor_beeps = self._adjacency @ beep.astype(np.int32)
             heard_true = neighbor_beeps > 0
             if loss > 0.0 or spurious > 0.0:
-                loss_uniforms = rng.random(n) if loss > 0.0 else None
-                spurious_uniforms = rng.random(n) if spurious > 0.0 else None
+                if counter:
+                    loss_uniforms = (
+                        counter_uniforms(seed, rounds, DRAW_LOSS, n)
+                        if loss > 0.0
+                        else None
+                    )
+                    spurious_uniforms = (
+                        counter_uniforms(seed, rounds, DRAW_SPURIOUS, n)
+                        if spurious > 0.0
+                        else None
+                    )
+                else:
+                    loss_uniforms = rng.random(n) if loss > 0.0 else None
+                    spurious_uniforms = (
+                        rng.random(n) if spurious > 0.0 else None
+                    )
                 heard = faulty_observation(
                     neighbor_beeps, loss, spurious,
                     loss_uniforms, spurious_uniforms,

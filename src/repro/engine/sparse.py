@@ -20,8 +20,14 @@ from typing import Dict, Set, Tuple
 import numpy as np
 
 from repro.beeping.faults import FaultModel, NO_FAULTS
+from repro.beeping.rng import (
+    DRAW_BEEP,
+    DRAW_LOSS,
+    DRAW_SPURIOUS,
+    counter_uniforms,
+)
 from repro.engine.rules import ProbabilityRule
-from repro.engine.simulator import EngineRun, faulty_observation
+from repro.engine.simulator import EngineRun, check_rng_mode, faulty_observation
 from repro.graphs.graph import Graph
 from repro.graphs.validation import verify_mis
 
@@ -42,20 +48,21 @@ def build_csr(graph: Graph) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     masked with ``isolated``.  Shared by :class:`SparseSimulator` and the
     fleet engine's sparse backend so the two stay structurally identical.
     """
+    from itertools import chain
+
     n = graph.num_vertices
-    degrees = np.fromiter(
-        (graph.degree(v) for v in graph.vertices()),
-        dtype=np.int64,
-        count=n,
-    )
+    neighbor_lists = [graph.neighbors(v) for v in graph.vertices()]
+    degrees = np.fromiter(map(len, neighbor_lists), dtype=np.int64, count=n)
     offsets = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(degrees, out=offsets[1:])
-    columns = np.empty(int(offsets[-1]), dtype=np.int64)
-    cursor = 0
-    for v in graph.vertices():
-        neighbors = graph.neighbors(v)
-        columns[cursor:cursor + len(neighbors)] = neighbors
-        cursor += len(neighbors)
+    # One C-level pass over the chained neighbour tuples; the per-vertex
+    # slice-assignment loop this replaces paid a tuple->array conversion
+    # per vertex.
+    columns = np.fromiter(
+        chain.from_iterable(neighbor_lists),
+        dtype=np.int64,
+        count=int(offsets[-1]),
+    )
     return columns, offsets[:-1].copy(), degrees == 0
 
 
@@ -100,15 +107,20 @@ class SparseSimulator:
         seed: int,
         validate: bool = False,
         faults: FaultModel = NO_FAULTS,
+        rng_mode: str = "stream",
     ) -> EngineRun:
         """Execute one full simulation with the given rule and seed.
 
         Bit-identical to :meth:`VectorizedSimulator.run
         <repro.engine.simulator.VectorizedSimulator.run>` under the same
-        seed and fault model (the two share the per-round draw order).
+        seed, fault model and ``rng_mode`` (in ``"stream"`` mode the two
+        share the per-round draw order; in ``"counter"`` mode every
+        uniform is a pure function of its counter, so order is moot).
         """
+        check_rng_mode(rng_mode)
         n = self._graph.num_vertices
-        rng = np.random.default_rng(seed)
+        counter = rng_mode == "counter"
+        rng = None if counter else np.random.default_rng(seed)
         loss = faults.beep_loss_probability
         spurious = faults.spurious_beep_probability
         crash_masks: Dict[int, np.ndarray] = faults.crash_schedule.round_masks(n)
@@ -128,13 +140,30 @@ class SparseSimulator:
                 newly_crashed = active & crash
                 crashed |= newly_crashed
                 active &= ~newly_crashed
-            uniforms = rng.random(n)
+            if counter:
+                uniforms = counter_uniforms(seed, rounds, DRAW_BEEP, n)
+            else:
+                uniforms = rng.random(n)
             beep = active & (uniforms < probabilities)
             counts = self._neighbor_counts(beep)
             heard_true = counts > 0
             if loss > 0.0 or spurious > 0.0:
-                loss_uniforms = rng.random(n) if loss > 0.0 else None
-                spurious_uniforms = rng.random(n) if spurious > 0.0 else None
+                if counter:
+                    loss_uniforms = (
+                        counter_uniforms(seed, rounds, DRAW_LOSS, n)
+                        if loss > 0.0
+                        else None
+                    )
+                    spurious_uniforms = (
+                        counter_uniforms(seed, rounds, DRAW_SPURIOUS, n)
+                        if spurious > 0.0
+                        else None
+                    )
+                else:
+                    loss_uniforms = rng.random(n) if loss > 0.0 else None
+                    spurious_uniforms = (
+                        rng.random(n) if spurious > 0.0 else None
+                    )
                 heard = faulty_observation(
                     counts, loss, spurious, loss_uniforms, spurious_uniforms
                 )

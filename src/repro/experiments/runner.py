@@ -5,8 +5,11 @@ Two runners share the :class:`TrialOutcome` record:
 - :func:`run_trials` drives the per-node *reference* engine — what any
   experiment needing traces or non-uniform node policies uses.
 - :func:`run_fleet_trials` drives the trial-parallel fleet engine: trials
-  are grouped per graph and each group is one lockstep
-  :class:`~repro.engine.fleet.FleetSimulator` batch.
+  are grouped per graph, and in the default ``"counter"`` rng mode every
+  same-size group runs inside **one** block-diagonal
+  :class:`~repro.engine.fleet.ArmadaSimulator` batch (in ``"stream"``
+  mode, one lockstep :class:`~repro.engine.fleet.FleetSimulator` batch
+  per graph).
 
 Both accept a :class:`~repro.beeping.faults.FaultModel` — robustness
 sweeps run on the fleet engine too (vectorised beep loss, spurious beeps
@@ -110,6 +113,32 @@ def run_trials(
     return outcomes
 
 
+def _emit_fleet_outcomes(
+    outcomes: List[TrialOutcome],
+    run: "object",
+    graph: Graph,
+    group_lo: int,
+) -> None:
+    """Append one group's :class:`TrialOutcome` rows from a FleetRun.
+
+    Beep accounting mirrors the reference engine's: a beep is one 1-bit
+    message per incident channel.
+    """
+    degrees = np.array(graph.degrees(), dtype=np.int64)
+    for t in range(run.trials):
+        channel_bits = int((run.beeps_by_node[t] * degrees).sum())
+        outcomes.append(
+            TrialOutcome(
+                trial=group_lo + t,
+                rounds=int(run.rounds[t]),
+                mis_size=int(run.membership[t].sum()),
+                mean_beeps_per_node=float(run.mean_beeps[t]),
+                messages=channel_bits,
+                bits=channel_bits,
+            )
+        )
+
+
 def run_fleet_trials(
     rule_factory: "Callable[[], object]",
     graph_factory: GraphFactory,
@@ -120,19 +149,27 @@ def run_fleet_trials(
     max_rounds: int = 100_000,
     trial_range: Optional[Tuple[int, int]] = None,
     faults: FaultModel = NO_FAULTS,
+    rng_mode: str = "counter",
 ) -> List[TrialOutcome]:
     """Run ``trials`` trials on the trial-parallel fleet engine.
 
     The trials are spread over ``graphs`` independently drawn graphs (the
-    fleet engine batches trials *per graph*), each group simulated as one
-    lockstep batch.  The graph for group ``g`` is drawn on path
-    ``(g, 0)`` and its trial seeds on the disjoint path ``(g, 1, trial)``,
-    so graph topology and simulation randomness are independent, and
-    outcomes are reproducible and identical to a per-trial loop over the
-    same seeds.  ``faults`` injects the vectorised fault model into every
-    trial (a fault-free model changes nothing, including the random
-    streams).  Beep accounting mirrors the reference engine's: a beep is
-    one 1-bit message per incident channel.
+    fleet engine batches trials *per graph*).  The graph for group ``g``
+    is drawn on path ``(g, 0)`` and its trial seeds on the disjoint path
+    ``(g, 1, trial)``, so graph topology and simulation randomness are
+    independent, and outcomes are reproducible and identical to a
+    per-trial loop over the same seeds in the same ``rng_mode``.
+    ``faults`` injects the vectorised fault model into every trial (a
+    fault-free model changes nothing, including the random streams).
+
+    ``rng_mode`` defaults to ``"counter"`` — the sweep/figure hot path —
+    where all same-``n`` groups execute as **one** block-diagonal
+    :class:`~repro.engine.fleet.ArmadaSimulator` batch: a single lockstep
+    round-loop per call instead of one per graph.  ``"stream"`` keeps the
+    PR-3 per-graph :class:`~repro.engine.fleet.FleetSimulator` path and
+    its golden-trace-pinned byte streams.  Either way, group ``g`` /
+    trial ``t`` is bit-identical to the corresponding lone fleet (and
+    per-trial engine) run in that mode.
 
     ``trial_range=(lo, hi)`` executes only the global trials ``lo .. hi-1``.
     The graph grouping is always computed from the *full* ``(trials,
@@ -140,8 +177,10 @@ def run_fleet_trials(
     window's outcomes equal the corresponding slice of the full run.
     """
     from repro.beeping.rng import derive_seed_block
-    from repro.engine.fleet import FleetSimulator
+    from repro.engine.fleet import ArmadaSimulator, FleetSimulator
+    from repro.engine.simulator import check_rng_mode
 
+    check_rng_mode(rng_mode)
     if graphs < 1:
         raise ValueError(f"graphs must be >= 1, got {graphs}")
     lo, hi = _resolve_trial_range(trials, trial_range)
@@ -149,38 +188,55 @@ def run_fleet_trials(
     per_graph = [trials // graphs] * graphs
     for extra in range(trials % graphs):
         per_graph[extra] += 1
-    outcomes: List[TrialOutcome] = []
+    selected: List[Tuple[int, int, int]] = []  # (graph_index, lo, hi)
     group_start = 0
     for graph_index, group_trials in enumerate(per_graph):
         group_lo = max(lo, group_start)
         group_hi = min(hi, group_start + group_trials)
-        if group_lo >= group_hi:
-            group_start += group_trials
-            continue
-        graph = graph_factory(stream.child(graph_index, 0))
-        degrees = np.array(graph.degrees(), dtype=np.int64)
-        simulator = FleetSimulator(graph, max_rounds=max_rounds)
-        seeds = derive_seed_block(
+        if group_lo < group_hi:
+            selected.append((graph_index, group_lo, group_hi))
+        group_start += group_trials
+    group_starts = np.concatenate(([0], np.cumsum(per_graph)))
+
+    def group_seeds(graph_index: int, group_lo: int, group_hi: int):
+        return derive_seed_block(
             master_seed,
             graph_index,
             1,
             count=group_hi - group_lo,
-            start=group_lo - group_start,
+            start=group_lo - int(group_starts[graph_index]),
         )
+
+    outcomes: List[TrialOutcome] = []
+    drawn = [
+        graph_factory(stream.child(graph_index, 0))
+        for graph_index, _, _ in selected
+    ]
+    same_n = len({graph.num_vertices for graph in drawn}) == 1
+    if rng_mode == "counter" and len(drawn) >= 1 and same_n:
+        # The armada path: every group of the window in one batch.
+        armada = ArmadaSimulator(drawn, max_rounds=max_rounds)
+        runs = armada.run_armada(
+            rule_factory(),
+            [group_seeds(*group) for group in selected],
+            validate=validate,
+            faults=faults,
+        )
+        for (graph_index, group_lo, group_hi), graph, run in zip(
+            selected, drawn, runs
+        ):
+            _emit_fleet_outcomes(outcomes, run, graph, group_lo)
+        return outcomes
+    # Stream mode (or counter with heterogeneous vertex counts, which the
+    # block-diagonal stack cannot express): one fleet batch per graph.
+    for (graph_index, group_lo, group_hi), graph in zip(selected, drawn):
+        simulator = FleetSimulator(graph, max_rounds=max_rounds)
         run = simulator.run_fleet(
-            rule_factory(), seeds, validate=validate, faults=faults
+            rule_factory(),
+            group_seeds(graph_index, group_lo, group_hi),
+            validate=validate,
+            faults=faults,
+            rng_mode=rng_mode,
         )
-        for t in range(group_hi - group_lo):
-            channel_bits = int((run.beeps_by_node[t] * degrees).sum())
-            outcomes.append(
-                TrialOutcome(
-                    trial=group_lo + t,
-                    rounds=int(run.rounds[t]),
-                    mis_size=int(run.membership[t].sum()),
-                    mean_beeps_per_node=float(run.mean_beeps[t]),
-                    messages=channel_bits,
-                    bits=channel_bits,
-                )
-            )
-        group_start += group_trials
+        _emit_fleet_outcomes(outcomes, run, graph, group_lo)
     return outcomes

@@ -90,6 +90,7 @@ def execute_shard(shard: ShardSpec) -> List[TrialOutcome]:
         max_rounds=cell.max_rounds,
         trial_range=window,
         faults=cell.fault_model(),
+        rng_mode=cell.rng_mode,
     )
 
 

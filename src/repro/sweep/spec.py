@@ -17,10 +17,12 @@ What goes into the hash
 - the cell's execution fingerprint: algorithm, engine, graph family and
   its parameters, master seed, fault model, ``max_rounds``.
   For **fleet** cells it also includes ``(trials, graphs)`` because the
-  per-graph grouping (and hence every seed path) depends on them; for
-  **reference** cells the total trial count is *excluded* — trial ``t``
-  depends only on ``master_seed`` and ``t``, so extending a sweep from
-  100 to 200 trials reuses every stored shard of the first 100;
+  per-graph grouping (and hence every seed path) depends on them, and
+  ``rng_mode`` because the stream and counter disciplines draw different
+  uniforms; for **reference** cells the total trial count is *excluded*
+  — trial ``t`` depends only on ``master_seed`` and ``t``, so extending
+  a sweep from 100 to 200 trials reuses every stored shard of the first
+  100 — and so is ``rng_mode``, which the per-node engine ignores;
 - the shard's global trial window ``[lo, hi)``.
 
 Deliberately **not** in the hash: job count, shard width of *other*
@@ -38,13 +40,17 @@ from typing import Any, Callable, Dict, List, Tuple
 
 from repro.algorithms.registry import available_algorithms
 from repro.beeping.faults import CrashSchedule, FaultModel
+from repro.beeping.rng import RNG_MODES
 from repro.engine.rules import FeedbackRule, ProbabilityRule, SweepRule
 from repro.graphs.graph import Graph
 from repro.graphs.random_graphs import gnp_random_graph
 from repro.graphs.structured import grid_graph
 
 #: Bump to invalidate every stored shard (seed or row semantics changed).
-SPEC_FORMAT_VERSION = 1
+#: v2: fleet cells grew an ``rng_mode`` (defaulting to the new counter
+#: discipline), so v1 fleet rows — all stream-mode — must not be served
+#: for v2 keys.
+SPEC_FORMAT_VERSION = 2
 
 ENGINES = ("fleet", "reference")
 FAMILIES = ("gnp", "grid")
@@ -71,9 +77,14 @@ class CellSpec:
 
     - ``"fleet"`` — :func:`repro.experiments.runner.run_fleet_trials`:
       ``trials`` spread over ``graphs`` lockstep groups, ``algorithm``
-      names a :data:`FLEET_RULES` entry.
+      names a :data:`FLEET_RULES` entry.  ``rng_mode`` picks the uniform
+      discipline: ``"counter"`` (default) runs all groups as one
+      block-diagonal armada batch; ``"stream"`` keeps the per-graph
+      sequential-generator path whose bytes the golden traces pin.
     - ``"reference"`` — :func:`repro.experiments.runner.run_trials`: a
       fresh graph per trial, ``algorithm`` names a registry algorithm.
+      The per-node engine has its own ``random.Random`` discipline and
+      ignores ``rng_mode``.
 
     Both engines support the fault fields (``beep_loss``,
     ``spurious_beep``, ``crashes``) — fleet cells inject them as
@@ -92,6 +103,7 @@ class CellSpec:
     trials: int = 1
     graphs: int = 1
     master_seed: int = 0
+    rng_mode: str = "counter"
     beep_loss: float = 0.0
     spurious_beep: float = 0.0
     crashes: Tuple[Tuple[int, int], ...] = ()
@@ -101,6 +113,10 @@ class CellSpec:
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
+        if self.rng_mode not in RNG_MODES:
+            raise ValueError(
+                f"rng_mode must be one of {RNG_MODES}, got {self.rng_mode!r}"
+            )
         if self.family not in FAMILIES:
             raise ValueError(f"family must be one of {FAMILIES}, got {self.family!r}")
         if self.family == "gnp":
@@ -180,9 +196,12 @@ class CellSpec:
             fingerprint["cols"] = self.cols
         if self.engine == "fleet":
             # The per-graph grouping — and therefore every seed path —
-            # depends on the full (trials, graphs) pair.
+            # depends on the full (trials, graphs) pair; the rng mode
+            # decides which uniforms those seeds expand into.  The
+            # reference engine uses neither.
             fingerprint["trials"] = self.trials
             fingerprint["graphs"] = self.graphs
+            fingerprint["rng_mode"] = self.rng_mode
         return fingerprint
 
     def to_dict(self) -> Dict[str, Any]:
@@ -198,6 +217,7 @@ class CellSpec:
             "trials": self.trials,
             "graphs": self.graphs,
             "master_seed": self.master_seed,
+            "rng_mode": self.rng_mode,
             "beep_loss": self.beep_loss,
             "spurious_beep": self.spurious_beep,
             "crashes": [list(pair) for pair in self.crashes],

@@ -4,10 +4,16 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.beeping.rng import (
+    DRAW_BEEP,
+    DRAW_LOSS,
+    DRAW_SPURIOUS,
     RngStream,
+    counter_uniforms,
     derive_seed,
     derive_seed_block,
+    seed_array,
     spawn_rng,
+    uniform_block,
 )
 
 
@@ -111,6 +117,157 @@ class TestShardBoundaries:
         for t in (0, 1, 63, 1000):
             block = derive_seed_block(9, count=1, start=t)
             assert int(block[0]) == derive_seed(9, t)
+
+
+class TestCounterUniforms:
+    """The stateless uniform fabric: pure, shaped, and well distributed."""
+
+    def test_deterministic_and_shaped(self):
+        import numpy as np
+
+        a = counter_uniforms([3, 4], 7, DRAW_BEEP, 5)
+        b = counter_uniforms([3, 4], 7, DRAW_BEEP, 5)
+        assert a.shape == (2, 5)
+        assert a.dtype == np.float64
+        assert np.array_equal(a, b)
+
+    def test_scalar_seed_gives_one_row(self):
+        import numpy as np
+
+        block = counter_uniforms([9, 10], 2, DRAW_BEEP, 6)
+        row = counter_uniforms(10, 2, DRAW_BEEP, 6)
+        assert row.shape == (6,)
+        assert np.array_equal(row, block[1])
+
+    def test_matrix_seeds_give_matrix_blocks(self):
+        """The armada's (trials, graphs) seed matrices broadcast: entry
+        (t, g) equals the scalar call for that seed."""
+        import numpy as np
+
+        seeds = np.arange(6, dtype=np.uint64).reshape(2, 3)
+        block = counter_uniforms(seeds, 4, DRAW_BEEP, 5)
+        assert block.shape == (2, 3, 5)
+        for t in range(2):
+            for g in range(3):
+                assert np.array_equal(
+                    block[t, g],
+                    counter_uniforms(int(seeds[t, g]), 4, DRAW_BEEP, 5),
+                )
+
+    def test_rounds_kinds_and_seeds_are_independent_axes(self):
+        import numpy as np
+
+        base = counter_uniforms(5, 0, DRAW_BEEP, 8)
+        assert not np.array_equal(base, counter_uniforms(6, 0, DRAW_BEEP, 8))
+        assert not np.array_equal(base, counter_uniforms(5, 1, DRAW_BEEP, 8))
+        assert not np.array_equal(base, counter_uniforms(5, 0, DRAW_LOSS, 8))
+        assert not np.array_equal(
+            base, counter_uniforms(5, 0, DRAW_SPURIOUS, 8)
+        )
+
+    def test_range_is_half_open_unit_interval(self):
+        block = counter_uniforms(range(64), 3, DRAW_BEEP, 128)
+        assert float(block.min()) >= 0.0
+        assert float(block.max()) < 1.0
+
+    def test_mean_and_ks_smoke(self):
+        """Statistical sanity: 50k counter uniforms look uniform — mean
+        and variance near 1/2 and 1/12, and the empirical CDF within a
+        comfortable Kolmogorov-Smirnov band (~5x the 1% critical value)."""
+        import numpy as np
+
+        sample = counter_uniforms(range(100), 11, DRAW_BEEP, 500).ravel()
+        assert abs(float(sample.mean()) - 0.5) < 0.01
+        assert abs(float(sample.var()) - 1.0 / 12.0) < 0.01
+        sorted_sample = np.sort(sample)
+        grid = (np.arange(sample.size) + 1.0) / sample.size
+        ks = float(np.abs(sorted_sample - grid).max())
+        assert ks < 5.0 * 1.63 / np.sqrt(sample.size)
+
+    def test_overflow_safe_for_huge_counters(self):
+        """Rounds, kinds and seeds absorb modulo 2**64 — no Python-int
+        leakage, no numpy overflow errors, still uniform-range output."""
+        block = counter_uniforms(
+            [2**64 - 1, 2**63], 2**63 + 12345, 2**62, 16
+        )
+        assert block.shape == (2, 16)
+        assert float(block.min()) >= 0.0
+        assert float(block.max()) < 1.0
+        # And huge counters do not degenerate to a constant stream.
+        assert len({float(v) for v in block.ravel()}) > 8
+
+    def test_rejects_negative_n(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="n"):
+            counter_uniforms(1, 0, DRAW_BEEP, -1)
+
+    def test_n_zero_gives_empty_rows(self):
+        assert counter_uniforms([1, 2], 0, DRAW_BEEP, 0).shape == (2, 0)
+
+
+class TestUniformBlock:
+    """The fleet-facing block API over derived trial seeds."""
+
+    def test_rows_match_scalar_counter_streams(self):
+        import numpy as np
+
+        block = uniform_block(
+            42, 3, round_index=5, draw_kind=DRAW_BEEP, count=8, n=6
+        )
+        assert block.shape == (8, 6)
+        for t in range(8):
+            assert np.array_equal(
+                block[t],
+                counter_uniforms(derive_seed(42, 3, t), 5, DRAW_BEEP, 6),
+            )
+
+    def test_shard_windows_equal_slices_of_the_full_block(self):
+        """The sweep contract carries over to uniforms: offset windows
+        are bit-identical to slices of the unsharded block."""
+        import numpy as np
+
+        whole = uniform_block(
+            1303, 2, 1, round_index=9, draw_kind=DRAW_LOSS, count=64, n=10
+        )
+        for lo, hi in ((0, 7), (7, 32), (32, 33), (33, 64)):
+            shard = uniform_block(
+                1303, 2, 1, round_index=9, draw_kind=DRAW_LOSS,
+                count=hi - lo, n=10, start=lo,
+            )
+            assert np.array_equal(shard, whole[lo:hi])
+
+    def test_overflow_safe_for_large_start(self):
+        import numpy as np
+
+        block = uniform_block(
+            7, round_index=2**63, draw_kind=DRAW_SPURIOUS,
+            count=4, n=3, start=2**40,
+        )
+        assert block.shape == (4, 3)
+        assert float(block.min()) >= 0.0
+        assert float(block.max()) < 1.0
+        again = uniform_block(
+            7, round_index=2**63, draw_kind=DRAW_SPURIOUS,
+            count=4, n=3, start=2**40,
+        )
+        assert np.array_equal(block, again)
+
+
+class TestSeedArray:
+    def test_uint64_passthrough_and_int_wrapping(self):
+        import numpy as np
+
+        block = derive_seed_block(1, count=3)
+        assert seed_array(block) is block
+        assert seed_array(np.int64(-1)) == np.uint64(2**64 - 1)
+
+    def test_python_ints_above_2_63(self):
+        import numpy as np
+
+        arr = seed_array([2**64 - 1, 2**63 + 5, 1])
+        assert arr.dtype == np.uint64
+        assert [int(v) for v in arr] == [2**64 - 1, 2**63 + 5, 1]
 
 
 class TestSpawnRng:

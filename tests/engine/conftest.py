@@ -19,6 +19,7 @@ from typing import Callable
 import pytest
 
 from repro.beeping.faults import FaultModel, NO_FAULTS
+from repro.beeping.rng import RNG_MODES
 from repro.engine.fleet import FleetSimulator
 from repro.engine.rules import (
     FeedbackRule,
@@ -55,21 +56,25 @@ def engine_run(
     validate: bool = False,
     max_rounds: int = 100_000,
     faults: FaultModel = NO_FAULTS,
+    rng_mode: str = "stream",
 ) -> EngineRun:
     """One seeded trial on the engine named by ``engine_id``."""
     if engine_id == "dense":
         return VectorizedSimulator(graph, max_rounds=max_rounds).run(
-            rule_factory(), seed, validate=validate, faults=faults
+            rule_factory(), seed, validate=validate, faults=faults,
+            rng_mode=rng_mode,
         )
     if engine_id == "sparse":
         return SparseSimulator(graph, max_rounds=max_rounds).run(
-            rule_factory(), seed, validate=validate, faults=faults
+            rule_factory(), seed, validate=validate, faults=faults,
+            rng_mode=rng_mode,
         )
     if engine_id in ("fleet-dense", "fleet-sparse"):
         backend = engine_id.split("-", 1)[1]
         simulator = FleetSimulator(graph, max_rounds=max_rounds, backend=backend)
         return simulator.run_fleet(
-            rule_factory(), [seed], validate=validate, faults=faults
+            rule_factory(), [seed], validate=validate, faults=faults,
+            rng_mode=rng_mode,
         ).trial_run(0)
     raise ValueError(f"unknown engine id {engine_id!r}")
 
@@ -87,6 +92,12 @@ CONFORMANCE_GRAPHS = {
 @pytest.fixture(params=ENGINE_IDS)
 def engine_id(request) -> str:
     """Every fast engine, by id."""
+    return request.param
+
+
+@pytest.fixture(params=RNG_MODES)
+def rng_mode(request) -> str:
+    """Both uniform-stream disciplines, by name."""
     return request.param
 
 

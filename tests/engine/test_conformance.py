@@ -1,19 +1,21 @@
 """Cross-engine conformance: all fast engines are one engine, observably.
 
-On a shared per-trial seed, the dense, sparse and fleet (both backends)
-engines must agree **bit for bit** — same round count, same MIS, same
-per-node beep counts — because they draw the identical random stream and
-compute the identical ``heard`` booleans.  The agreement extends to
-fault-injected runs: all four engines share one per-round fault draw
-order (beep uniforms, loss uniforms, spurious uniforms) and one collapsed
-loss probability, so beep loss, spurious beeps and crash schedules keep
-the bit-equality intact.  The per-node reference engine consumes
+On a shared per-trial seed *and rng mode*, the dense, sparse and fleet
+(both backends) engines must agree **bit for bit** — same round count,
+same MIS, same per-node beep counts — because they draw the identical
+uniforms and compute the identical ``heard`` booleans.  In ``"stream"``
+mode that hinges on a shared sequential draw order (beep uniforms, loss
+uniforms, spurious uniforms); in ``"counter"`` mode every uniform is a
+pure function of its counter, so the order is moot by construction.  The
+agreement extends to fault-injected runs and, in counter mode, to the
+block-diagonal armada batch.  The per-node reference engine consumes
 randomness differently, so it is held to MIS validity and distributional
 agreement instead.
 
 These tests are the refactoring guard-rail for the engine package: any
 semantic drift in one engine (round ordering, probability updates, seed
-derivation, fault sampling) breaks the agreement immediately.
+derivation, fault sampling, armada block stacking) breaks the agreement
+immediately.
 """
 
 from __future__ import annotations
@@ -45,10 +47,13 @@ MASTER_SEED = 0xC04F
 
 
 class TestBitEquality:
-    """Dense == sparse == fleet-dense == fleet-sparse, bit for bit."""
+    """Dense == sparse == fleet-dense == fleet-sparse, bit for bit,
+    within each rng mode."""
 
     @pytest.mark.parametrize("rule_name", RULE_NAMES)
-    def test_all_engines_agree_exactly(self, conformance_graph, rule_name):
+    def test_all_engines_agree_exactly(
+        self, conformance_graph, rule_name, rng_mode
+    ):
         graph = conformance_graph
         seed = derive_seed(MASTER_SEED, graph.num_vertices, graph.num_edges)
         runs = {
@@ -58,6 +63,7 @@ class TestBitEquality:
                 lambda: make_rule(rule_name, graph),
                 seed,
                 validate=True,
+                rng_mode=rng_mode,
             )
             for engine_id in ENGINE_IDS
         }
@@ -84,6 +90,33 @@ class TestBitEquality:
                 differing += 1
         assert differing > 0
 
+    def test_modes_draw_different_uniforms(self, conformance_graph):
+        """Stream and counter are distinct disciplines — if they ever
+        collided the mode key in the sweep cache would be redundant."""
+        graph = conformance_graph
+        if graph.num_edges == 0:
+            pytest.skip("beep traces on edgeless graphs are degenerate")
+        differing = 0
+        for offset in range(5):
+            stream = engine_run(
+                "dense", graph, FeedbackRule, 5000 + offset,
+                rng_mode="stream",
+            )
+            counter = engine_run(
+                "dense", graph, FeedbackRule, 5000 + offset,
+                rng_mode="counter",
+            )
+            if stream.rounds != counter.rounds or not np.array_equal(
+                stream.beeps_by_node, counter.beeps_by_node
+            ):
+                differing += 1
+        assert differing > 0
+
+    def test_rejects_unknown_rng_mode(self):
+        graph = gnp_random_graph(10, 0.4, Random(3))
+        with pytest.raises(ValueError, match="rng_mode"):
+            engine_run("dense", graph, FeedbackRule, 1, rng_mode="quantum")
+
 
 class TestBatchConformance:
     """The fleet batch path reproduces the per-trial loop bit for bit."""
@@ -93,7 +126,7 @@ class TestBatchConformance:
     @pytest.mark.parametrize("rule_name", ("feedback", "afek-sweep"))
     @pytest.mark.parametrize("graph_index", (0, 3))
     def test_fleet_batch_matches_loop(
-        self, conformance_graph, rule_name, graph_index
+        self, conformance_graph, rule_name, graph_index, rng_mode
     ):
         graph = conformance_graph
         loop = run_batch_loop(
@@ -102,6 +135,7 @@ class TestBatchConformance:
             self.TRIALS,
             MASTER_SEED,
             graph_index=graph_index,
+            rng_mode=rng_mode,
         )
         fleet = run_batch(
             graph,
@@ -110,6 +144,7 @@ class TestBatchConformance:
             MASTER_SEED,
             graph_index=graph_index,
             engine="fleet",
+            rng_mode=rng_mode,
         )
         assert fleet.rule_name == loop.rule_name
         assert np.array_equal(fleet.rounds, loop.rounds)
@@ -150,7 +185,7 @@ class TestFaultConformance:
     )
     @pytest.mark.parametrize("rule_name", ("feedback", "afek-sweep"))
     def test_all_engines_agree_exactly_under_faults(
-        self, conformance_graph, rule_name, fault_id
+        self, conformance_graph, rule_name, fault_id, rng_mode
     ):
         graph = conformance_graph
         faults = FAULT_MODELS[fault_id]
@@ -166,6 +201,7 @@ class TestFaultConformance:
                 seed,
                 validate=True,
                 faults=faults,
+                rng_mode=rng_mode,
             )
             for engine_id in ENGINE_IDS
         }
@@ -239,7 +275,7 @@ class TestFaultConformance:
         assert not run.mis & run.crashed
 
     @pytest.mark.parametrize("rule_name", ("feedback", "afek-sweep"))
-    def test_fleet_batch_matches_loop_under_faults(self, rule_name):
+    def test_fleet_batch_matches_loop_under_faults(self, rule_name, rng_mode):
         graph = gnp_random_graph(40, 0.3, Random(21))
         faults = FaultModel(
             beep_loss_probability=0.2,
@@ -252,6 +288,7 @@ class TestFaultConformance:
             12,
             MASTER_SEED,
             faults=faults,
+            rng_mode=rng_mode,
         )
         fleet = run_batch(
             graph,
@@ -260,9 +297,77 @@ class TestFaultConformance:
             MASTER_SEED,
             engine="fleet",
             faults=faults,
+            rng_mode=rng_mode,
         )
         assert np.array_equal(fleet.rounds, loop.rounds)
         assert np.array_equal(fleet.mean_beeps, loop.mean_beeps)
+
+
+class TestArmadaConformance:
+    """The block-diagonal armada batch is bit-identical to the per-graph
+    counter-mode fleet runs it replaces."""
+
+    @pytest.mark.parametrize("rule_name", ("feedback", "afek-sweep"))
+    @pytest.mark.parametrize("backend", ("dense", "sparse"))
+    @pytest.mark.parametrize(
+        "fault_id", (None, "loss+spurious", "all-three"),
+        ids=("fault-free", "loss+spurious", "all-three"),
+    )
+    def test_armada_matches_per_graph_fleet(self, backend, fault_id, rule_name):
+        from repro.beeping.rng import derive_seed_block
+        from repro.engine.fleet import ArmadaSimulator, FleetSimulator
+
+        faults = NO_FAULTS if fault_id is None else FAULT_MODELS[fault_id]
+        graphs = [
+            gnp_random_graph(22, 0.3, Random(900 + g)) for g in range(3)
+        ]
+        # Ragged groups, like a trial_range-windowed cell.
+        seed_rows = [
+            derive_seed_block(MASTER_SEED, g, 1, count=5 - g, start=g)
+            for g in range(3)
+        ]
+        armada = ArmadaSimulator(graphs, backend=backend)
+        assert armada.backend == backend
+        runs = armada.run_armada(
+            make_rule(rule_name, graphs[0]), seed_rows, validate=True,
+            faults=faults,
+        )
+        for graph, row, run in zip(graphs, seed_rows, runs):
+            lone = FleetSimulator(graph, backend=backend).run_fleet(
+                make_rule(rule_name, graph), row, validate=True,
+                faults=faults, rng_mode="counter",
+            )
+            assert np.array_equal(run.rounds, lone.rounds)
+            assert np.array_equal(run.membership, lone.membership)
+            assert np.array_equal(run.beeps_by_node, lone.beeps_by_node)
+            for t in range(run.trials):
+                assert run.crashed_set(t) == lone.crashed_set(t)
+
+    def test_armada_backends_agree(self):
+        from repro.beeping.rng import derive_seed_block
+        from repro.engine.fleet import ArmadaSimulator
+        from repro.graphs.structured import empty_graph, grid_graph
+
+        # Same n, structurally different graphs — including an edgeless
+        # one, whose trials finish in a single round.
+        graphs = [
+            grid_graph(4, 5),
+            gnp_random_graph(20, 0.4, Random(31)),
+            empty_graph(20),
+        ]
+        seed_rows = [
+            derive_seed_block(77, g, 1, count=3) for g in range(3)
+        ]
+        dense = ArmadaSimulator(graphs, backend="dense").run_armada(
+            FeedbackRule(), seed_rows, validate=True
+        )
+        sparse = ArmadaSimulator(graphs, backend="sparse").run_armada(
+            FeedbackRule(), seed_rows, validate=True
+        )
+        for d, s in zip(dense, sparse):
+            assert np.array_equal(d.rounds, s.rounds)
+            assert np.array_equal(d.membership, s.membership)
+            assert np.array_equal(d.beeps_by_node, s.beeps_by_node)
 
 
 @settings(max_examples=40, deadline=None, derandomize=True)

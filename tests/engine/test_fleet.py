@@ -156,3 +156,94 @@ class TestBatchDispatch:
     def test_rejects_zero_trials(self):
         with pytest.raises(ValueError, match="trials"):
             run_batch(grid_graph(3, 3), FeedbackRule, 0, master_seed=5)
+
+
+class TestArmadaSimulator:
+    """Construction, validation and batching rules of the armada."""
+
+    def _graphs(self, count=3, n=15):
+        return [gnp_random_graph(n, 0.4, Random(500 + g)) for g in range(count)]
+
+    def test_rejects_empty_graph_list(self):
+        from repro.engine.fleet import ArmadaSimulator
+
+        with pytest.raises(ValueError, match="at least one graph"):
+            ArmadaSimulator([])
+
+    def test_rejects_mixed_vertex_counts(self):
+        from repro.engine.fleet import ArmadaSimulator
+
+        with pytest.raises(ValueError, match="vertex count"):
+            ArmadaSimulator([grid_graph(3, 3), grid_graph(3, 4)])
+
+    def test_rejects_bad_backend_and_max_rounds(self):
+        from repro.engine.fleet import ArmadaSimulator
+
+        with pytest.raises(ValueError, match="backend"):
+            ArmadaSimulator(self._graphs(), backend="csr")
+        with pytest.raises(ValueError, match="max_rounds"):
+            ArmadaSimulator(self._graphs(), max_rounds=0)
+
+    def test_auto_backend_respects_memory_budget(self):
+        from repro.engine.fleet import ArmadaSimulator
+
+        small = ArmadaSimulator(self._graphs(count=2, n=10))
+        assert small.backend == "dense"
+        # Many copies of a large graph overflow the dense stack budget
+        # even though each graph alone would resolve dense.
+        n = DENSE_VERTEX_LIMIT // 2
+        wide = ArmadaSimulator([empty_graph(n) for _ in range(5)])
+        assert wide.backend == "sparse"
+
+    def test_rejects_mismatched_seed_rows(self):
+        from repro.engine.fleet import ArmadaSimulator
+
+        armada = ArmadaSimulator(self._graphs(count=2))
+        with pytest.raises(ValueError, match="one seed row per graph"):
+            armada.run_armada(FeedbackRule(), [[1, 2]])
+        with pytest.raises(ValueError, match="at least one seed"):
+            armada.run_armada(FeedbackRule(), [[1, 2], []])
+
+    def test_rejects_non_trial_parallel_rule(self):
+        from repro.engine.fleet import ArmadaSimulator
+
+        armada = ArmadaSimulator(self._graphs(count=2))
+        with pytest.raises(ValueError, match="trial-parallel"):
+            armada.run_armada(_StatefulRule(), [[1], [2]])
+
+    def test_ragged_rows_freeze_padding_slots(self):
+        """Groups of different sizes coexist: each graph's run reports
+        exactly its own trial count."""
+        from repro.engine.fleet import ArmadaSimulator
+
+        graphs = self._graphs(count=3)
+        seed_rows = [
+            derive_seed_block(11, g, 1, count=count)
+            for g, count in enumerate((5, 1, 3))
+        ]
+        runs = ArmadaSimulator(graphs).run_armada(
+            FeedbackRule(), seed_rows, validate=True
+        )
+        assert [run.trials for run in runs] == [5, 1, 3]
+        for run in runs:
+            assert run.rounds.shape == (run.trials,)
+            assert (run.rounds >= 1).all()
+            assert run.membership.shape == (run.trials, 15)
+
+    def test_single_graph_armada_equals_fleet(self):
+        """The degenerate one-graph armada is just a counter-mode fleet."""
+        from repro.engine.fleet import ArmadaSimulator
+
+        graph = self._graphs(count=1)[0]
+        seeds = derive_seed_block(13, 0, 1, count=6)
+        armada_run = ArmadaSimulator([graph]).run_armada(
+            FeedbackRule(), [seeds]
+        )[0]
+        fleet_run = FleetSimulator(graph).run_fleet(
+            FeedbackRule(), seeds, rng_mode="counter"
+        )
+        assert np.array_equal(armada_run.rounds, fleet_run.rounds)
+        assert np.array_equal(armada_run.membership, fleet_run.membership)
+        assert np.array_equal(
+            armada_run.beeps_by_node, fleet_run.beeps_by_node
+        )

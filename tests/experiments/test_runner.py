@@ -86,20 +86,29 @@ class TestRunFleetTrials:
         outcomes = self._run(trials=7, graphs=3)
         assert [o.trial for o in outcomes] == list(range(7))
 
-    def test_matches_per_trial_engine_on_same_seeds(self):
-        """Group g / trial t must equal a lone run on seed (g, 1, t)."""
+    @pytest.mark.parametrize("rng_mode", ("stream", "counter"))
+    def test_matches_per_trial_engine_on_same_seeds(self, rng_mode):
+        """Group g / trial t must equal a lone run on seed (g, 1, t) in
+        the same rng mode — for counter mode this pins the armada batch
+        to the per-trial engines."""
         from repro.beeping.rng import RngStream, derive_seed
         from repro.engine.rules import FeedbackRule
         from repro.engine.simulator import VectorizedSimulator
 
-        outcomes = self._run(trials=6, graphs=2, master_seed=31)
+        outcomes = self._run(
+            trials=6, graphs=2, master_seed=31, rng_mode=rng_mode
+        )
         stream = RngStream(31)
         flat = 0
         for g in range(2):
             graph = graph_factory(stream.child(g, 0))
             simulator = VectorizedSimulator(graph)
             for t in range(3):
-                lone = simulator.run(FeedbackRule(), derive_seed(31, g, 1, t))
+                lone = simulator.run(
+                    FeedbackRule(),
+                    derive_seed(31, g, 1, t),
+                    rng_mode=rng_mode,
+                )
                 assert outcomes[flat].rounds == lone.rounds
                 assert outcomes[flat].mis_size == len(lone.mis)
                 expected_bits = sum(
@@ -107,6 +116,55 @@ class TestRunFleetTrials:
                     for v in graph.vertices()
                 )
                 assert outcomes[flat].bits == expected_bits
+                flat += 1
+
+    def test_default_mode_is_counter(self):
+        """The fleet/sweep hot path runs the counter discipline unless a
+        caller pins the golden-trace stream mode."""
+        assert self._run() == self._run(rng_mode="counter")
+        assert self._run() != self._run(rng_mode="stream")
+
+    def test_trial_range_windows_concatenate_in_counter_mode(self):
+        """Armada batching of partial groups must keep the shard
+        contract: window outcomes equal the slice of the full run."""
+        full = self._run(trials=9, graphs=3)
+        parts = []
+        for window in ((0, 2), (2, 7), (7, 9)):
+            parts.extend(self._run(trials=9, graphs=3, trial_range=window))
+        assert parts == full
+
+    def test_counter_mode_handles_heterogeneous_graph_sizes(self):
+        """A graph factory with size depending on the draw cannot be
+        block-stacked; the per-graph counter fallback must still match
+        the per-trial engines."""
+        from repro.beeping.rng import RngStream, derive_seed
+        from repro.engine.rules import FeedbackRule
+        from repro.engine.simulator import VectorizedSimulator
+        from repro.experiments.runner import run_fleet_trials
+
+        def varying_factory(rng):
+            return gnp_random_graph(10 + rng.randrange(12), 0.4, rng)
+
+        outcomes = run_fleet_trials(
+            FeedbackRule, varying_factory, 4, master_seed=77, graphs=2
+        )
+        assert [o.trial for o in outcomes] == list(range(4))
+        stream = RngStream(77)
+        sizes = {varying_factory(stream.child(g, 0)).num_vertices
+                 for g in range(2)}
+        assert len(sizes) == 2  # the fallback was actually exercised
+        flat = 0
+        for g in range(2):
+            graph = varying_factory(RngStream(77).child(g, 0))
+            simulator = VectorizedSimulator(graph)
+            for t in range(2):
+                lone = simulator.run(
+                    FeedbackRule(),
+                    derive_seed(77, g, 1, t),
+                    rng_mode="counter",
+                )
+                assert outcomes[flat].rounds == lone.rounds
+                assert outcomes[flat].mis_size == len(lone.mis)
                 flat += 1
 
     def test_graph_seed_independent_of_trial_seeds(self):

@@ -49,6 +49,7 @@ def fleet_oracle(cell):
         graphs=cell.graphs,
         validate=cell.validate,
         faults=cell.fault_model(),
+        rng_mode=cell.rng_mode,
     )
 
 
@@ -113,6 +114,17 @@ class TestBitIdenticalToSequential:
             faults=FaultModel(spurious_beep_probability=0.2),
         )
         assert result.rows(cell) == expected
+
+    @pytest.mark.parametrize("rng_mode", ("stream", "counter"))
+    def test_fleet_cell_matches_oracle_in_both_rng_modes(self, rng_mode):
+        """The orchestrator forwards rng_mode: a stream-mode cell must
+        reproduce the stream-mode sequential runner, not the counter
+        default (and vice versa)."""
+        cell = CellSpec(**{**FLEET_CELL.to_dict(), "rng_mode": rng_mode})
+        result = run_sweep(SweepSpec((cell,), shard_trials=4), jobs=2)
+        assert result.rows(cell) == fleet_oracle(cell)
+        if rng_mode == "stream":
+            assert result.rows(cell) != fleet_oracle(FLEET_CELL)
 
     def test_faulted_fleet_cell_matches_run_fleet_trials(self, tmp_path):
         """ISSUE 3 acceptance: fault-injected fleet cells shard exactly."""

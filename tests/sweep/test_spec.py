@@ -102,10 +102,18 @@ class TestCellValidation:
     def test_round_trips_through_dict(self):
         for cell in (
             fleet_cell(),
+            fleet_cell(rng_mode="stream"),
             reference_cell(beep_loss=0.1, crashes=((2, 5),)),
             fleet_cell(family="grid", rows=5, cols=5),
         ):
             assert CellSpec.from_dict(cell.to_dict()) == cell
+
+    def test_from_dict_defaults_missing_rng_mode(self):
+        """Pre-v2 manifests have no rng_mode; they deserialise to the
+        current default rather than failing."""
+        payload = fleet_cell().to_dict()
+        del payload["rng_mode"]
+        assert CellSpec.from_dict(payload).rng_mode == "counter"
 
 
 class TestShardHash:
@@ -118,10 +126,13 @@ class TestShardHash:
         """The cache-key format is an on-disk contract: if this changes,
         every stored shard is orphaned, so it must change deliberately
         (with a SPEC_FORMAT_VERSION bump), never by accident."""
-        assert SPEC_FORMAT_VERSION == 1
+        # v2: fleet fingerprints grew rng_mode (ISSUE 4); every v1 entry
+        # is deliberately orphaned because fleet defaults moved from the
+        # stream to the counter discipline.
+        assert SPEC_FORMAT_VERSION == 2
         digest = ShardSpec(fleet_cell(), 0, 32).content_hash()
         assert digest == (
-            "7f8ef85c59a1d9a9e318f1f1ae6bddc8d44f36f2ca611a0a339ca47e4204ecd5"
+            "0f767163ce669d9847f051c4e34b27379764f9e0c85fb05619b138c169dc2700"
         )
 
     @pytest.mark.parametrize(
@@ -133,6 +144,7 @@ class TestShardHash:
             {"master_seed": 1304},
             {"trials": 65},
             {"graphs": 5},
+            {"rng_mode": "stream"},
             {"max_rounds": 50_000},
             {"beep_loss": 0.1},
             {"spurious_beep": 0.05},
@@ -164,6 +176,18 @@ class TestShardHash:
         small = ShardSpec(reference_cell(trials=10), 0, 5)
         large = ShardSpec(reference_cell(trials=200), 0, 5)
         assert small.content_hash() == large.content_hash()
+
+    def test_reference_hash_ignores_rng_mode(self):
+        """The per-node engine has its own random.Random discipline;
+        rng_mode cannot change a reference row, so it must not split the
+        cache."""
+        counter = ShardSpec(reference_cell(rng_mode="counter"), 0, 5)
+        stream = ShardSpec(reference_cell(rng_mode="stream"), 0, 5)
+        assert counter.content_hash() == stream.content_hash()
+
+    def test_rejects_unknown_rng_mode(self):
+        with pytest.raises(ValueError, match="rng_mode"):
+            fleet_cell(rng_mode="quantum")
 
     def test_fleet_hash_depends_on_total_trials(self):
         """Fleet grouping (and so every seed path) depends on (trials,

@@ -37,6 +37,7 @@ def test_doc_files_present():
     assert "TUTORIAL.md" in names
     assert "robustness.md" in names
     assert "architecture.md" in names
+    assert "perf.md" in names
 
 
 @pytest.mark.parametrize(
