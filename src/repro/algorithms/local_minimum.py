@@ -11,6 +11,11 @@ The paper's randomized algorithms exist precisely to beat this: the
 test-suite and the round-distribution study use this baseline to show the
 contrast (O(n) worst case and ID-ordering sensitivity vs O(log n)
 regardless of names).
+
+This module is the per-node reference; the vectorised lockstep
+counterpart (:class:`~repro.engine.messages.LocalMinimumRule`, drawing
+its ID permutation from the counter fabric) runs on the fleet/armada
+fabric in :mod:`repro.engine.messages`.
 """
 
 from __future__ import annotations

@@ -3,8 +3,13 @@
 The paper positions its contribution against "the elegant randomized
 algorithm of [3, 16], generally known as Luby's algorithm".  Luby's
 algorithm is a *message-passing* algorithm — nodes exchange numeric values
-with identified neighbours — so it does not run on the beeping scheduler;
-this module simulates its synchronous rounds directly on the graph.
+with identified neighbours — so it does not run on the beeping scheduler.
+This module is the per-node *reference* implementation, simulating the
+synchronous rounds directly on the graph one dict/set operation at a
+time; the vectorised lockstep counterparts (both variants as
+:class:`~repro.engine.messages.MessageRule` kernels on the fleet/armada
+fabric, bit-reproducible and cross-checked against this module in law)
+live in :mod:`repro.engine.messages`.
 
 Two standard variants are provided:
 

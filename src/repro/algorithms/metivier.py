@@ -12,6 +12,11 @@ We simulate the round structure exactly and account bits the same way: for
 each active edge, the number of bits exchanged in a round is one more than
 the length of the common prefix of the endpoints' bit strings (capped at
 the precision needed to separate them).
+
+This module is the per-node reference; the vectorised lockstep
+counterpart — :class:`~repro.engine.messages.MetivierRule`, including a
+vectorised form of the same prefix accounting — runs on the fleet/armada
+fabric in :mod:`repro.engine.messages`.
 """
 
 from __future__ import annotations

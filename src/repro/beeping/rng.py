@@ -35,13 +35,19 @@ _MIX_2 = 0x94D049BB133111EB
 #: The two uniform-stream disciplines the fast engines support.
 RNG_MODES = ("stream", "counter")
 
-#: Draw-kind indices for the counter discipline.  A round consumes up to
-#: three independent uniform blocks — beep, then loss, then spurious —
-#: and the kind index keeps their counter domains disjoint, so enabling
-#: or disabling a fault kind never perturbs the other blocks.
+#: Draw-kind indices for the counter discipline.  Each kind occupies its
+#: own disjoint counter domain, so enabling or disabling one kind never
+#: perturbs any other kind's block.  The beeping engines consume up to
+#: three kinds per round — beep, then loss, then spurious — and the
+#: message-passing engines three more: priority values
+#: (Luby-permutation / Métivier), marking uniforms (Luby-probability)
+#: and the one-shot ID permutation (local-minimum-id).
 DRAW_BEEP = 0
 DRAW_LOSS = 1
 DRAW_SPURIOUS = 2
+DRAW_VALUE = 3
+DRAW_MARK = 4
+DRAW_IDS = 5
 
 #: Lane tables (``arange(n) * gamma``) for :func:`counter_uniforms`, keyed
 #: by ``n``; experiments touch only a handful of sizes.
@@ -172,6 +178,43 @@ def counter_uniforms(seeds, round_index: int, draw_kind: int, n: int):
     >>> np.array_equal(counter_uniforms(2, 0, DRAW_BEEP, 3), block[1])
     True
     """
+    return _finish_lanes(_absorbed_lanes(seeds, round_index, draw_kind, n))
+
+
+def counter_values(seeds, round_index: int, draw_kind: int, n: int):
+    """Stateless full-width values, shape ``np.shape(seeds) + (n,)``.
+
+    The 64-bit sibling of :func:`counter_uniforms`: entry ``(..., v)`` is
+    the complete mixed counter word — a pure function of the seed and
+    ``(round_index, draw_kind, v)`` — before the top-53-bit truncation
+    that turns it into a uniform.  The two are locked together bit for
+    bit::
+
+        counter_uniforms(...) == (counter_values(...) >> 11) * 2.0 ** -53
+
+    Message-passing kernels draw their priority values here: Métivier's
+    bit-by-bit accounting needs genuine 64-bit value strings (the
+    reference implementation reveals 64-bit integers), and uint64
+    comparisons avoid any float rounding question in the neighbour
+    reductions.
+
+    >>> import numpy as np
+    >>> values = counter_values([1, 2], 0, DRAW_VALUE, 3)
+    >>> uniforms = counter_uniforms([1, 2], 0, DRAW_VALUE, 3)
+    >>> bool(np.all((values >> np.uint64(11)) * 2.0 ** -53 == uniforms))
+    True
+    """
+    return _mix_lanes(_absorbed_lanes(seeds, round_index, draw_kind, n))
+
+
+def _absorbed_lanes(seeds, round_index, draw_kind, n: int):
+    """The fresh ``state ^ lane`` array both counter fabrics mix from.
+
+    One shared implementation of the absorb-and-fan-out step keeps
+    :func:`counter_uniforms` and :func:`counter_values` locked together
+    bit for bit (the documented ``uniforms == (values >> 11) * 2^-53``
+    relation) — they differ only in the finisher applied to this array.
+    """
     if n < 0:
         raise ValueError(f"n must be >= 0, got {n}")
     import numpy as np
@@ -183,7 +226,7 @@ def counter_uniforms(seeds, round_index: int, draw_kind: int, n: int):
         # the lane table is the only per-call O(n) setup.
         lanes = np.arange(n, dtype=np.uint64) * np.uint64(_GOLDEN_GAMMA)
         _LANES_CACHE[n] = lanes
-    return _finish_lanes(state[..., np.newaxis] ^ lanes)
+    return state[..., np.newaxis] ^ lanes
 
 
 def counter_state(seeds, round_index, draw_kind):
@@ -234,13 +277,13 @@ def counter_uniforms_at(states, lane_indices):
     return _finish_lanes(np.asarray(states, dtype=np.uint64) ^ lanes)
 
 
-def _finish_lanes(z):
-    """The shared lane finisher: splitmix64 output fn, then top 53 bits.
+def _mix_lanes(z):
+    """The shared lane mixer: the full splitmix64 output word per lane.
 
     ``z`` must be a *fresh* uint64 array holding ``state ^ (lane_index *
     gamma)``; it is consumed destructively.  This is the hot path (the
     fleet calls it every round for whole blocks), so it mixes in place —
-    two further allocations total.
+    one further allocation total.
     """
     import numpy as np
 
@@ -253,6 +296,14 @@ def _finish_lanes(z):
     z *= np.uint64(_MIX_2)
     np.right_shift(z, np.uint64(31), out=scratch)
     z ^= scratch
+    return z
+
+
+def _finish_lanes(z):
+    """Mixed lanes scaled to uniforms: top 53 bits times ``2^-53``."""
+    import numpy as np
+
+    z = _mix_lanes(z)
     z >>= np.uint64(11)
     # uint64 -> float64 conversion of a 53-bit value is exact, and the
     # power-of-two scale is exact, so this single fused pass equals

@@ -6,6 +6,8 @@ Subcommands
 - ``figure3``  — regenerate the Figure 3 series (rounds vs n) and plot it.
 - ``figure5``  — regenerate the Figure 5 series (beeps per node vs n).
 - ``sweep``    — sharded, cached experiment grids (algorithms × sizes).
+- ``compare``  — the paper's beeping-vs-message-passing comparison
+  (rounds + bit complexity) across algorithms × workloads × sizes.
 - ``robustness`` — fault grid (beep loss × spurious beeps, optional
   crashes) through the cached orchestrator, on the fleet engine.
 - ``theorem1`` — the lower-bound experiment on the clique family.
@@ -123,13 +125,45 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fleet engine: independent graphs per cell",
     )
     sweep.add_argument(
-        "--quantity", choices=("rounds", "beeps", "mis-size"),
+        "--quantity",
+        choices=("rounds", "beeps", "mis-size", "messages", "bits"),
         default="rounds",
     )
     sweep.add_argument("--seed", type=int, default=1900)
     sweep.add_argument("--shard-trials", type=int, default=32)
     sweep.add_argument("--csv", action="store_true", help="emit CSV only")
     _add_sweep_execution_arguments(sweep)
+
+    compare = sub.add_parser(
+        "compare",
+        help="beeping vs message-passing: rounds + bit complexity",
+    )
+    compare.add_argument(
+        "--algorithms", nargs="+", metavar="NAME",
+        default=None,
+        help="algorithm names (default: the paper's comparison panel)",
+    )
+    compare.add_argument(
+        "--families", nargs="+", choices=("gnp", "grid"), default=["gnp"],
+        help="workload families (grid reads sizes as side lengths)",
+    )
+    compare.add_argument(
+        "--sizes", nargs="+", type=int, default=[50, 100, 200], metavar="N"
+    )
+    compare.add_argument("--edge-probability", type=float, default=0.5)
+    compare.add_argument("--trials", type=int, default=32)
+    compare.add_argument(
+        "--graphs", type=int, default=1,
+        help="fleet engine: independent graphs per cell",
+    )
+    compare.add_argument(
+        "--engine", choices=("auto", "fleet", "reference"), default="auto",
+        help="auto: fleet where available, reference otherwise",
+    )
+    compare.add_argument("--seed", type=int, default=2013)
+    compare.add_argument("--shard-trials", type=int, default=32)
+    compare.add_argument("--csv", action="store_true", help="emit CSV only")
+    _add_sweep_execution_arguments(compare)
 
     robust = sub.add_parser(
         "robustness",
@@ -162,7 +196,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fleet engine: independent graphs per cell",
     )
     robust.add_argument(
-        "--quantity", choices=("rounds", "beeps", "mis-size"),
+        "--quantity",
+        choices=("rounds", "beeps", "mis-size", "messages", "bits"),
         default="rounds",
     )
     robust.add_argument("--seed", type=int, default=1603)
@@ -334,6 +369,45 @@ def _command_sweep(args: argparse.Namespace) -> int:
         print()
         print(plot_experiment(result, y_label=quantity))
         print(summary)
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.compare import (
+        DEFAULT_ALGORITHMS,
+        comparison_csv,
+        comparison_experiment,
+    )
+
+    result = comparison_experiment(
+        algorithms=(
+            tuple(args.algorithms) if args.algorithms else DEFAULT_ALGORITHMS
+        ),
+        families=tuple(args.families),
+        sizes=tuple(args.sizes),
+        edge_probability=args.edge_probability,
+        trials=args.trials,
+        graphs=args.graphs,
+        master_seed=args.seed,
+        shard_trials=args.shard_trials,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        engine=args.engine,
+    )
+    cache = args.cache_dir if args.cache_dir else "none"
+    summary = f"# {result.report.summary()} cache={cache}"
+    if args.csv:
+        # Keep stdout pure CSV (byte-stable, parseable); report on stderr.
+        print(comparison_csv(result), end="")
+        print(summary, file=sys.stderr)
+        return 0
+    print(f"comparison (seed={args.seed})")
+    print(result.table())
+    print()
+    print(plot_experiment(result.rounds, y_label="rounds"))
+    print()
+    print(plot_experiment(result.bits_per_node, y_label="bits/node"))
+    print(summary)
     return 0
 
 
@@ -570,6 +644,7 @@ _COMMANDS = {
     "figure3": _command_figure3,
     "figure5": _command_figure5,
     "sweep": _command_sweep,
+    "compare": _command_compare,
     "robustness": _command_robustness,
     "theorem1": _command_theorem1,
     "bio": _command_bio,

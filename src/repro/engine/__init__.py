@@ -35,6 +35,17 @@ engines, all implementing the same two-exchange round semantics:
     ``benchmarks/bench_counter_rng.py`` records the margin over the
     per-graph stream path.
 
+**Message fleet** (:class:`MessageFleetSimulator` /
+:class:`MessageArmadaSimulator`)
+    The same lockstep fabric for the *message-passing* baselines (Luby's
+    two variants, Métivier et al., local-minimum-id): a
+    :class:`MessageRule` expresses each round as a masked
+    neighbour-minimum priority contest, run on the dense full-adjacency
+    sweep or the CSR ``minimum.reduceat`` pass, counter rng mode only.
+    ``benchmarks/bench_message_fleet.py`` records the margin over the
+    per-node loop; see :mod:`repro.engine.messages` and
+    ``docs/algorithms.md``.
+
 Seed-derivation contract
 ------------------------
 Every batch derives trial seeds from one master seed with the splitmix64
@@ -65,6 +76,16 @@ from repro.engine.rules import (
 from repro.engine.simulator import EngineRun, VectorizedSimulator
 from repro.engine.sparse import SparseSimulator
 from repro.engine.fleet import ArmadaSimulator, FleetRun, FleetSimulator
+from repro.engine.messages import (
+    LocalMinimumRule,
+    LubyPermutationRule,
+    LubyProbabilityRule,
+    MessageArmadaSimulator,
+    MessageFleetRun,
+    MessageFleetSimulator,
+    MessageRule,
+    MetivierRule,
+)
 from repro.engine.batch import (
     BatchResult,
     run_batch,
@@ -79,6 +100,14 @@ __all__ = [
     "FleetRun",
     "FleetSimulator",
     "GlobalScheduleRule",
+    "LocalMinimumRule",
+    "LubyPermutationRule",
+    "LubyProbabilityRule",
+    "MessageArmadaSimulator",
+    "MessageFleetRun",
+    "MessageFleetSimulator",
+    "MessageRule",
+    "MetivierRule",
     "ProbabilityRule",
     "SparseSimulator",
     "SweepRule",

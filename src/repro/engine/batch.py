@@ -27,6 +27,15 @@ the bit-equality holds for fault-injected batches too.  Both also accept
 an ``rng_mode`` (``"stream"``, the golden-trace-pinned default, or the
 stateless ``"counter"`` discipline — see :mod:`repro.beeping.rng`); the
 fleet/loop bit-equality holds within each mode.
+
+Message-passing rules (:class:`~repro.engine.messages.MessageRule` — the
+Luby variants, Métivier, local-minimum-id) batch through the same two
+entry points: ``engine="fleet"`` runs one lockstep
+:class:`~repro.engine.messages.MessageFleetSimulator` batch and
+``engine="loop"`` the seed-by-seed oracle, bit-identical to each other.
+They are counter-only (``rng_mode="counter"`` required) and reject fault
+models — the per-node message baselines ignore faults, so a silently
+dropped model would misreport robustness results.
 """
 
 from __future__ import annotations
@@ -39,11 +48,54 @@ import numpy as np
 from repro.beeping.faults import FaultModel, NO_FAULTS
 from repro.beeping.rng import derive_seed, derive_seed_block
 from repro.engine.fleet import FleetSimulator
+from repro.engine.messages import (
+    MessageFleetSimulator,
+    MessageRule,
+    check_message_run,
+)
 from repro.engine.rules import ProbabilityRule
 from repro.engine.simulator import VectorizedSimulator
 from repro.graphs.graph import Graph
 
 BATCH_ENGINES = ("auto", "fleet", "loop")
+
+
+def _run_message_batch(
+    graph: Graph,
+    rule: MessageRule,
+    trials: int,
+    master_seed: int,
+    graph_index: int,
+    validate: bool,
+    max_rounds: int,
+    per_trial: bool,
+) -> BatchResult:
+    """Both batch strategies for a message rule, sharing one simulator.
+
+    ``per_trial=False`` runs all trials as one lockstep batch;
+    ``per_trial=True`` loops seed by seed — the "loop" oracle the
+    conformance suite compares the batch against.  Counter draws are
+    pure per-seed functions, so the two agree bit for bit.  Message
+    algorithms do not beep; ``mean_beeps`` is all zeros.
+    """
+    seeds = derive_seed_block(master_seed, graph_index, count=trials)
+    simulator = MessageFleetSimulator(graph, max_rounds=max_rounds)
+    if per_trial:
+        rounds = np.zeros(trials, dtype=np.int64)
+        for trial in range(trials):
+            run = simulator.run_fleet(
+                rule, seeds[trial : trial + 1], validate=validate
+            )
+            rounds[trial] = run.rounds[0]
+    else:
+        rounds = simulator.run_fleet(rule, seeds, validate=validate).rounds
+    return BatchResult(
+        rule_name=rule.name,
+        num_vertices=graph.num_vertices,
+        trials=trials,
+        rounds=rounds,
+        mean_beeps=np.zeros(trials, dtype=np.float64),
+    )
 
 
 @dataclass
@@ -100,6 +152,13 @@ def run_batch_loop(
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
+    probe = rule_factory()
+    if isinstance(probe, MessageRule):
+        check_message_run(probe, faults, rng_mode)
+        return _run_message_batch(
+            graph, probe, trials, master_seed, graph_index,
+            validate, max_rounds, per_trial=True,
+        )
     simulator = VectorizedSimulator(graph, max_rounds=max_rounds)
     rounds = np.zeros(trials, dtype=np.int64)
     mean_beeps = np.zeros(trials, dtype=np.float64)
@@ -172,6 +231,12 @@ def run_batch(
         )
     if rule is None:
         rule = rule_factory()
+    if isinstance(rule, MessageRule):
+        check_message_run(rule, faults, rng_mode)
+        return _run_message_batch(
+            graph, rule, trials, master_seed, graph_index,
+            validate, max_rounds, per_trial=False,
+        )
     seeds = derive_seed_block(master_seed, graph_index, count=trials)
     simulator = FleetSimulator(graph, max_rounds=max_rounds)
     run = simulator.run_fleet(

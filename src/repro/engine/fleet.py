@@ -84,7 +84,7 @@ from repro.engine.simulator import (
     check_rng_mode,
     faulty_observation,
 )
-from repro.engine.sparse import build_csr
+from repro.engine.sparse import build_csr, csr_row_counts
 from repro.graphs.graph import Graph
 from repro.graphs.validation import verify_mis
 
@@ -234,17 +234,9 @@ class FleetSimulator:
             # float32 GEMM counts are exact small integers (degree < 2^24).
             counts = self._as_float32(flags) @ self._adjacency
             return counts.astype(np.int64)
-        if self._columns.size == 0:
-            return np.zeros((k, n), dtype=np.int64)
-        # One trailing zero column keeps every (unclamped) start in range,
-        # so trailing empty segments never truncate the last real segment
-        # (see build_csr).
-        gathered = np.zeros((k, self._columns.size + 1), dtype=np.int32)
-        gathered[:, :-1] = flags[:, self._columns]
-        counts = np.add.reduceat(gathered, self._starts, axis=1)
-        # Empty segments (isolated vertices) yield garbage sums; zero them.
-        counts[:, self._isolated] = 0
-        return counts.astype(np.int64)
+        return csr_row_counts(
+            flags, self._columns, self._starts, self._isolated
+        )
 
     def _scattered_neighbor_counts(
         self, flags: np.ndarray, live: np.ndarray
@@ -683,16 +675,7 @@ class ArmadaSimulator:
                 block_counts = (staged @ self._adjacency[g]).astype(np.int64)
             else:
                 columns, starts, isolated = self._per_csr[g]
-                if columns.size == 0:
-                    block_counts = np.zeros((sub.shape[0], n), dtype=np.int64)
-                else:
-                    gathered = np.zeros(
-                        (sub.shape[0], columns.size + 1), dtype=np.int32
-                    )
-                    gathered[:, :-1] = sub[:, columns]
-                    block_counts = np.add.reduceat(gathered, starts, axis=1)
-                    block_counts[:, isolated] = 0
-                    block_counts = block_counts.astype(np.int64)
+                block_counts = csr_row_counts(sub, columns, starts, isolated)
             if selected is None:
                 counts[block] = block_counts
             else:

@@ -1,8 +1,9 @@
-"""Probability-update rules for the vectorised engine.
+"""Probability-update rules for the vectorised *beeping* engines.
 
 A rule owns the per-vertex beep probability vector: it provides the initial
 probabilities and updates them from the round's observations.  The three
-rules mirror the three beeping algorithms in :mod:`repro.algorithms`:
+probability rules mirror the three beeping algorithms in
+:mod:`repro.algorithms`:
 
 - :class:`FeedbackRule`      ↔ :class:`repro.algorithms.FeedbackMIS`
 - :class:`SweepRule`         ↔ :class:`repro.algorithms.AfekSweepMIS`
@@ -10,6 +11,12 @@ rules mirror the three beeping algorithms in :mod:`repro.algorithms`:
 
 All operate on full-length numpy vectors; entries of inactive vertices are
 carried along but ignored (the simulator masks them out).
+
+The *message-passing* algorithms (the Luby variants, Métivier et al.,
+local-minimum-id) have their own kernel API — the sibling
+:class:`~repro.engine.messages.MessageRule`, whose per-round exchange is
+a neighbour reduction over priority keys rather than a probability
+update; see :mod:`repro.engine.messages`.
 """
 
 from __future__ import annotations

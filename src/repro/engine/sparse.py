@@ -66,6 +66,34 @@ def build_csr(graph: Graph) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     return columns, offsets[:-1].copy(), degrees == 0
 
 
+def csr_row_counts(
+    flags: np.ndarray,
+    columns: np.ndarray,
+    starts: np.ndarray,
+    isolated: np.ndarray,
+) -> np.ndarray:
+    """Row-wise flagged-neighbour counts over one CSR, for 2-D flags.
+
+    The one implementation of the pad/clamp discipline ``build_csr``
+    documents, shared by every batched CSR consumer (fleet, armada and
+    message kernels) so the reduceat subtleties — the trailing pad
+    column that keeps unclamped starts in range, the garbage sums of
+    empty segments — can never drift between engines.  ``flags`` is
+    ``(rows, n)`` boolean; returns ``(rows, n)`` int64.
+    """
+    k, n = flags.shape
+    if columns.size == 0:
+        return np.zeros((k, n), dtype=np.int64)
+    # One trailing zero column keeps every (unclamped) start in range,
+    # so trailing empty segments never truncate the last real segment.
+    gathered = np.zeros((k, columns.size + 1), dtype=np.int32)
+    gathered[:, :-1] = flags[:, columns]
+    counts = np.add.reduceat(gathered, starts, axis=1)
+    # Empty segments (isolated vertices) yield garbage sums; zero them.
+    counts[:, isolated] = 0
+    return counts.astype(np.int64)
+
+
 class SparseSimulator:
     """CSR-based simulator, API-compatible with
     :class:`~repro.engine.simulator.VectorizedSimulator`."""

@@ -113,6 +113,29 @@ def run_trials(
     return outcomes
 
 
+def _emit_message_outcomes(
+    outcomes: List[TrialOutcome],
+    run: "object",
+    group_lo: int,
+) -> None:
+    """Append one group's rows from a MessageFleetRun.
+
+    Message algorithms do not beep; ``messages``/``bits`` carry the
+    per-node references' value-exchange accounting.
+    """
+    for t in range(run.trials):
+        outcomes.append(
+            TrialOutcome(
+                trial=group_lo + t,
+                rounds=int(run.rounds[t]),
+                mis_size=int(run.membership[t].sum()),
+                mean_beeps_per_node=0.0,
+                messages=int(run.messages[t]),
+                bits=int(run.bits[t]),
+            )
+        )
+
+
 def _emit_fleet_outcomes(
     outcomes: List[TrialOutcome],
     run: "object",
@@ -175,14 +198,33 @@ def run_fleet_trials(
     The graph grouping is always computed from the *full* ``(trials,
     graphs)`` pair and seeds come from each group's own offset window, so a
     window's outcomes equal the corresponding slice of the full run.
+
+    ``rule_factory`` may also produce a
+    :class:`~repro.engine.messages.MessageRule` (the Luby variants,
+    Métivier, local-minimum-id): the same seed paths then drive the
+    message-passing lockstep engines —
+    :class:`~repro.engine.messages.MessageArmadaSimulator` for same-``n``
+    windows, per-graph :class:`~repro.engine.messages.MessageFleetSimulator`
+    otherwise — and rows carry the references' message/bit accounting.
+    Message rules are counter-only and reject fault models.
     """
     from repro.beeping.rng import derive_seed_block
     from repro.engine.fleet import ArmadaSimulator, FleetSimulator
+    from repro.engine.messages import (
+        MessageArmadaSimulator,
+        MessageFleetSimulator,
+        MessageRule,
+        check_message_run,
+    )
     from repro.engine.simulator import check_rng_mode
 
     check_rng_mode(rng_mode)
     if graphs < 1:
         raise ValueError(f"graphs must be >= 1, got {graphs}")
+    rule = rule_factory()
+    message = isinstance(rule, MessageRule)
+    if message:
+        check_message_run(rule, faults, rng_mode)
     lo, hi = _resolve_trial_range(trials, trial_range)
     stream = RngStream(master_seed)
     per_graph = [trials // graphs] * graphs
@@ -213,6 +255,27 @@ def run_fleet_trials(
         for graph_index, _, _ in selected
     ]
     same_n = len({graph.num_vertices for graph in drawn}) == 1
+    if message:
+        # The message-passing fabric is counter-only (checked above), so
+        # same-n windows always take the one-batch armada path.
+        if same_n and drawn:
+            armada = MessageArmadaSimulator(drawn, max_rounds=max_rounds)
+            runs = armada.run_armada(
+                rule,
+                [group_seeds(*group) for group in selected],
+                validate=validate,
+            )
+            for (graph_index, group_lo, group_hi), run in zip(selected, runs):
+                _emit_message_outcomes(outcomes, run, group_lo)
+            return outcomes
+        for (graph_index, group_lo, group_hi), graph in zip(selected, drawn):
+            run = MessageFleetSimulator(graph, max_rounds=max_rounds).run_fleet(
+                rule,
+                group_seeds(graph_index, group_lo, group_hi),
+                validate=validate,
+            )
+            _emit_message_outcomes(outcomes, run, group_lo)
+        return outcomes
     if rng_mode == "counter" and len(drawn) >= 1 and same_n:
         # The armada path: every group of the window in one batch.
         armada = ArmadaSimulator(drawn, max_rounds=max_rounds)

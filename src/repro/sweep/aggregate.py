@@ -18,8 +18,11 @@ from repro.experiments.records import SeriesPoint
 from repro.experiments.runner import TrialOutcome
 from repro.sweep.spec import CellSpec
 
-#: Quantities a cell's rows can be summarised over.
-QUANTITIES = ("rounds", "beeps", "mis_size")
+#: Quantities a cell's rows can be summarised over.  ``messages`` and
+#: ``bits`` are the communication-complexity axes of the paper's
+#: beeping-vs-message-passing comparison: a beep costs one 1-bit message
+#: per incident channel, a numeric value O(log n) bits per channel.
+QUANTITIES = ("rounds", "beeps", "mis_size", "messages", "bits")
 
 
 def outcome_value(outcome: TrialOutcome, quantity: str) -> float:
@@ -30,6 +33,10 @@ def outcome_value(outcome: TrialOutcome, quantity: str) -> float:
         return float(outcome.mean_beeps_per_node)
     if quantity == "mis_size":
         return float(outcome.mis_size)
+    if quantity == "messages":
+        return float(outcome.messages)
+    if quantity == "bits":
+        return float(outcome.bits)
     raise ValueError(f"quantity must be one of {QUANTITIES}, got {quantity!r}")
 
 

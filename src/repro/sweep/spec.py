@@ -36,11 +36,12 @@ import hashlib
 import json
 from dataclasses import dataclass
 from random import Random
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Tuple, Union
 
 from repro.algorithms.registry import available_algorithms
 from repro.beeping.faults import CrashSchedule, FaultModel
 from repro.beeping.rng import RNG_MODES
+from repro.engine.messages import MESSAGE_RULES, MessageRule
 from repro.engine.rules import FeedbackRule, ProbabilityRule, SweepRule
 from repro.graphs.graph import Graph
 from repro.graphs.random_graphs import gnp_random_graph
@@ -55,11 +56,19 @@ SPEC_FORMAT_VERSION = 2
 ENGINES = ("fleet", "reference")
 FAMILIES = ("gnp", "grid")
 
-#: Rules the fleet engine can run by name (all are ``trial_parallel``).
-FLEET_RULES: Dict[str, Callable[[], ProbabilityRule]] = {
+#: Rules the fleet engines can run by name: the trial-parallel beeping
+#: probability rules plus the message-passing kernels (whose factories
+#: produce :class:`~repro.engine.messages.MessageRule` instances —
+#: ``run_fleet_trials`` dispatches on the rule type).
+FLEET_RULES: Dict[str, Callable[[], Union[MessageRule, ProbabilityRule]]] = {
     "feedback": FeedbackRule,
     "afek-sweep": SweepRule,
+    **MESSAGE_RULES,
 }
+
+#: The subset of :data:`FLEET_RULES` that runs the message-passing
+#: fabric: counter rng mode only, no fault injection.
+MESSAGE_FLEET_RULES = frozenset(MESSAGE_RULES)
 
 
 def canonical_json(payload: Any) -> str:
@@ -77,10 +86,13 @@ class CellSpec:
 
     - ``"fleet"`` — :func:`repro.experiments.runner.run_fleet_trials`:
       ``trials`` spread over ``graphs`` lockstep groups, ``algorithm``
-      names a :data:`FLEET_RULES` entry.  ``rng_mode`` picks the uniform
-      discipline: ``"counter"`` (default) runs all groups as one
-      block-diagonal armada batch; ``"stream"`` keeps the per-graph
+      names a :data:`FLEET_RULES` entry — a beeping probability rule or
+      one of the message-passing kernels (:data:`MESSAGE_FLEET_RULES`:
+      the Luby variants, Métivier, local-minimum-id).  ``rng_mode`` picks
+      the uniform discipline: ``"counter"`` (default) runs all groups as
+      one block-diagonal armada batch; ``"stream"`` keeps the per-graph
       sequential-generator path whose bytes the golden traces pin.
+      Message algorithms are counter-only and fault-free by construction.
     - ``"reference"`` — :func:`repro.experiments.runner.run_trials`: a
       fresh graph per trial, ``algorithm`` names a registry algorithm.
       The per-node engine has its own ``random.Random`` discipline and
@@ -149,6 +161,17 @@ class CellSpec:
                     f"fleet engine supports rules {sorted(FLEET_RULES)}, "
                     f"got {self.algorithm!r}"
                 )
+            if self.algorithm in MESSAGE_FLEET_RULES:
+                if self.rng_mode != "counter":
+                    raise ValueError(
+                        f"message algorithm {self.algorithm!r} runs the "
+                        "counter fabric only; use rng_mode='counter'"
+                    )
+                if not self.fault_model().is_fault_free:
+                    raise ValueError(
+                        f"message algorithm {self.algorithm!r} does not "
+                        "support fault injection on the fleet engine"
+                    )
         elif self.algorithm not in available_algorithms():
             raise ValueError(
                 f"unknown algorithm {self.algorithm!r}; "

@@ -5,10 +5,14 @@ from hypothesis import strategies as st
 
 from repro.beeping.rng import (
     DRAW_BEEP,
+    DRAW_IDS,
     DRAW_LOSS,
+    DRAW_MARK,
     DRAW_SPURIOUS,
+    DRAW_VALUE,
     RngStream,
     counter_uniforms,
+    counter_values,
     derive_seed,
     derive_seed_block,
     seed_array,
@@ -204,6 +208,47 @@ class TestCounterUniforms:
 
     def test_n_zero_gives_empty_rows(self):
         assert counter_uniforms([1, 2], 0, DRAW_BEEP, 0).shape == (2, 0)
+
+
+class TestCounterValues:
+    """The 64-bit value fabric the message-passing kernels draw from."""
+
+    def test_locked_to_uniforms(self):
+        """values >> 11 scaled by 2^-53 IS counter_uniforms, bit for bit."""
+        import numpy as np
+
+        values = counter_values([3, 4, 5], 7, DRAW_VALUE, 6)
+        uniforms = counter_uniforms([3, 4, 5], 7, DRAW_VALUE, 6)
+        assert values.dtype == np.uint64
+        assert np.array_equal(
+            (values >> np.uint64(11)) * 2.0 ** -53, uniforms
+        )
+
+    def test_draw_kinds_are_disjoint_domains(self):
+        """The message kinds never collide with each other or with the
+        beeping kinds on any shared (seed, round)."""
+        import numpy as np
+
+        kinds = (DRAW_BEEP, DRAW_LOSS, DRAW_SPURIOUS, DRAW_VALUE,
+                 DRAW_MARK, DRAW_IDS)
+        assert len(set(kinds)) == len(kinds)
+        blocks = [counter_values([11, 12], 3, kind, 8) for kind in kinds]
+        for i, a in enumerate(blocks):
+            for b in blocks[i + 1:]:
+                assert not np.array_equal(a, b)
+
+    def test_subsets_match_full_block(self):
+        import numpy as np
+
+        full = counter_values([5, 6, 7], 9, DRAW_VALUE, 4)
+        part = counter_values([6], 9, DRAW_VALUE, 4)
+        assert np.array_equal(part[0], full[1])
+
+    def test_rejects_negative_n(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="n must be"):
+            counter_values([1], 0, DRAW_VALUE, -1)
 
 
 class TestUniformBlock:

@@ -181,3 +181,72 @@ class TestRunFleetTrials:
             self._run(trials=0)
         with pytest.raises(ValueError, match="graphs"):
             self._run(graphs=0)
+
+
+class TestRunFleetTrialsMessages:
+    """The message-passing rules ride the same fleet runner contract."""
+
+    def _run(self, rule_name="luby-permutation", **kwargs):
+        from repro.engine.messages import MESSAGE_RULES
+        from repro.experiments.runner import run_fleet_trials
+
+        defaults = dict(trials=9, master_seed=43, graphs=3)
+        defaults.update(kwargs)
+        return run_fleet_trials(
+            MESSAGE_RULES[rule_name], graph_factory, **defaults
+        )
+
+    def test_outcome_fields(self):
+        outcomes = self._run()
+        assert [o.trial for o in outcomes] == list(range(9))
+        for outcome in outcomes:
+            assert outcome.rounds >= 1
+            assert outcome.mis_size >= 1
+            assert outcome.mean_beeps_per_node == 0.0  # no beeps
+            assert outcome.messages > 0
+            assert outcome.bits >= outcome.messages
+
+    def test_trial_range_windows_concatenate(self):
+        """Windowed message-armada runs keep the shard contract."""
+        full = self._run(rule_name="metivier")
+        parts = []
+        for window in ((0, 2), (2, 7), (7, 9)):
+            parts.extend(self._run(rule_name="metivier", trial_range=window))
+        assert parts == full
+
+    def test_matches_message_fleet_on_same_seeds(self):
+        """Group g / trial t must equal a lone message-fleet run on the
+        group's seed window — the armada stacking never changes rows."""
+        from repro.beeping.rng import RngStream, derive_seed_block
+        from repro.engine.messages import (
+            MESSAGE_RULES,
+            MessageFleetSimulator,
+        )
+
+        outcomes = self._run(trials=6, graphs=2, master_seed=59)
+        stream = RngStream(59)
+        flat = 0
+        for g in range(2):
+            graph = graph_factory(stream.child(g, 0))
+            run = MessageFleetSimulator(graph).run_fleet(
+                MESSAGE_RULES["luby-permutation"](),
+                derive_seed_block(59, g, 1, count=3),
+            )
+            for t in range(3):
+                assert outcomes[flat].rounds == int(run.rounds[t])
+                assert outcomes[flat].mis_size == int(
+                    run.membership[t].sum()
+                )
+                assert outcomes[flat].messages == int(run.messages[t])
+                assert outcomes[flat].bits == int(run.bits[t])
+                flat += 1
+
+    def test_stream_mode_rejected(self):
+        with pytest.raises(ValueError, match="counter"):
+            self._run(rng_mode="stream")
+
+    def test_faults_rejected(self):
+        from repro.beeping.faults import FaultModel
+
+        with pytest.raises(ValueError, match="fault"):
+            self._run(faults=FaultModel(beep_loss_probability=0.2))

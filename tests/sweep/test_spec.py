@@ -77,6 +77,31 @@ class TestCellValidation:
         # Crash pairs are canonicalised to sorted order.
         assert cell.crashes == ((1, 0), (3, 1))
 
+    def test_message_algorithms_are_fleet_rules(self):
+        for algorithm in (
+            "luby-permutation", "luby-probability", "metivier",
+            "local-minimum-id",
+        ):
+            cell = fleet_cell(algorithm=algorithm)
+            assert cell.rng_mode == "counter"
+
+    def test_message_cell_rejects_stream_mode(self):
+        with pytest.raises(ValueError, match="counter"):
+            fleet_cell(algorithm="luby-permutation", rng_mode="stream")
+
+    def test_message_cell_rejects_faults(self):
+        with pytest.raises(ValueError, match="fault"):
+            fleet_cell(algorithm="metivier", beep_loss=0.1)
+        with pytest.raises(ValueError, match="fault"):
+            fleet_cell(algorithm="luby-probability", crashes=((1, 2),))
+
+    def test_message_algorithm_distinguishes_cell_hashes(self):
+        """Algorithm is a first-class sweep axis: two cells differing
+        only in the (message) algorithm must never share cached rows."""
+        a = ShardSpec(fleet_cell(algorithm="luby-permutation"), 0, 8)
+        b = ShardSpec(fleet_cell(algorithm="metivier"), 0, 8)
+        assert a.content_hash() != b.content_hash()
+
     def test_rejects_bad_grid(self):
         with pytest.raises(ValueError, match="grid"):
             fleet_cell(family="grid", rows=0, cols=5)

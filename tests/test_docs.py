@@ -38,6 +38,49 @@ def test_doc_files_present():
     assert "robustness.md" in names
     assert "architecture.md" in names
     assert "perf.md" in names
+    assert "algorithms.md" in names
+    assert "sweep.md" in names
+
+
+def test_docs_index_orders_the_docs():
+    """docs/README.md is the reading-order index of the doc set."""
+    index = (REPO_ROOT / "docs" / "README.md").read_text(encoding="utf-8")
+    ordered = ["TUTORIAL.md", "architecture.md", "algorithms.md",
+               "sweep.md", "robustness.md", "perf.md"]
+    positions = [index.find(name) for name in ordered]
+    assert all(p >= 0 for p in positions), (
+        f"docs/README.md must link all of {ordered}"
+    )
+    assert positions == sorted(positions), (
+        "docs/README.md must keep the reading order "
+        "TUTORIAL -> architecture -> algorithms -> sweep -> robustness "
+        "-> perf"
+    )
+
+
+def test_algorithm_gallery_covers_every_registry_algorithm():
+    """Every registered algorithm appears in the docs/algorithms.md
+    engine-coverage matrix (and therefore in the gallery)."""
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.algorithms.registry import available_algorithms
+    finally:
+        sys.path.pop(0)
+    gallery = (REPO_ROOT / "docs" / "algorithms.md").read_text(
+        encoding="utf-8"
+    )
+    matrix = gallery.split("## Engine coverage", 1)
+    assert len(matrix) == 2, "algorithms.md needs an engine-coverage matrix"
+    missing = [
+        name
+        for name in available_algorithms()
+        if f"`{name}`" not in matrix[1]
+    ]
+    assert not missing, (
+        f"docs/algorithms.md engine-coverage matrix misses: {missing}"
+    )
 
 
 @pytest.mark.parametrize(
