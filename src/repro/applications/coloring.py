@@ -7,6 +7,12 @@ graph strictly decreases each layer; after at most Δ+1 layers every vertex
 is coloured, giving a proper (Δ+1)-colouring.  In the distributed setting
 each layer is one MIS execution, so running it with the paper's feedback
 algorithm costs O(Δ log n) expected beeping rounds with one-bit messages.
+
+This module is the per-node *reference* implementation; the vectorised
+fleet kernel (:class:`repro.engine.applications.ColoringRule`) runs the
+same peeling over whole trial batches in lockstep and is
+conformance-locked against it — identical colourings for the same seed
+through the :class:`repro.engine.applications.EngineMIS` adapter.
 """
 
 from __future__ import annotations
@@ -90,17 +96,20 @@ def mis_coloring(
         total_rounds += run.rounds
         remaining = [v for v in remaining if colors[v] < 0]
         color += 1
-    result = ColoringResult(
+    num_colors = verify_coloring(graph, colors)
+    if num_colors != color:
+        raise AssertionError(
+            f"verified colour count {num_colors} != {color} peeling layers"
+        )
+    if num_colors > graph.max_degree() + 1:
+        raise AssertionError(
+            f"MIS peeling used {num_colors} colours, more than "
+            f"max_degree + 1 = {graph.max_degree() + 1}"
+        )
+    return ColoringResult(
         graph=graph,
         colors=colors,
-        num_colors=color,
+        num_colors=num_colors,
         total_rounds=total_rounds,
         layers=layers,
     )
-    verify_coloring(graph, colors)
-    if result.num_colors > graph.max_degree() + 1:
-        raise AssertionError(
-            f"MIS peeling used {result.num_colors} colours, more than "
-            f"max_degree + 1 = {graph.max_degree() + 1}"
-        )
-    return result

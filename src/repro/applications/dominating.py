@@ -6,6 +6,12 @@ fly's SOP pattern realises.  For comparison, the classic centralised greedy
 set-cover heuristic for plain domination is included: it may pick fewer
 vertices (it is allowed to pick adjacent ones) but needs global degree
 information, which beeping nodes do not have.
+
+This module is the per-node *reference* implementation; the vectorised
+fleet kernel (:class:`repro.engine.applications.DominatingSetRule`) runs
+the same reduction over whole trial batches in lockstep and is
+conformance-locked against it — identical chosen sets for the same seed
+through the :class:`repro.engine.applications.EngineMIS` adapter.
 """
 
 from __future__ import annotations

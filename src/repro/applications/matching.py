@@ -5,6 +5,12 @@ adjacent in the line graph ``L(G)``.  A maximal independent set of ``L(G)``
 is therefore exactly a maximal matching of ``G`` — the standard reduction.
 In a beeping network the line-graph nodes are the radio links; running the
 feedback algorithm "on the links" costs O(log m) expected rounds.
+
+This module is the per-node *reference* implementation; the vectorised
+fleet kernel (:class:`repro.engine.applications.MatchingRule`) runs the
+same reduction on an array-built line graph over whole trial batches and
+is conformance-locked against it — identical matchings for the same seed
+through the :class:`repro.engine.applications.EngineMIS` adapter.
 """
 
 from __future__ import annotations
@@ -26,7 +32,10 @@ def line_graph(graph: Graph) -> Tuple[Graph, List[Edge]]:
     Vertex ``i`` of the line graph is ``edges[i]``; two line-graph vertices
     are adjacent iff the corresponding edges share an endpoint.
     """
-    edges = list(graph.edges())
+    # Normalise both the stored list and the index keys: the lookup below
+    # canonicalises to (min, max), so the dict must be keyed the same way
+    # even if a Graph subclass yields edges in (v, u) order.
+    edges = [(u, v) if u <= v else (v, u) for u, v in graph.edges()]
     index_by_edge = {edge: i for i, edge in enumerate(edges)}
     builder = GraphBuilder(len(edges))
     for v in graph.vertices():

@@ -8,6 +8,12 @@ power — so the paper's feedback algorithm directly yields ruling sets,
 another entry for the conclusion's "fundamental building block" claim
 (ruling sets underpin network decompositions and many LOCAL-model
 algorithms).
+
+This module is the per-node *reference* implementation; the vectorised
+fleet kernel (:class:`repro.engine.applications.RulingSetRule`) runs the
+same reduction on a GEMM-built graph power over whole trial batches and
+is conformance-locked against it — identical ruling sets for the same
+seed through the :class:`repro.engine.applications.EngineMIS` adapter.
 """
 
 from __future__ import annotations

@@ -41,13 +41,19 @@ RNG_MODES = ("stream", "counter")
 #: three kinds per round — beep, then loss, then spurious — and the
 #: message-passing engines three more: priority values
 #: (Luby-permutation / Métivier), marking uniforms (Luby-probability)
-#: and the one-shot ID permutation (local-minimum-id).
+#: and the one-shot ID permutation (local-minimum-id).  The application
+#: kernels (:mod:`repro.engine.applications`) add a seventh domain,
+#: ``DRAW_LAYER``: iterated-MIS applications derive the seed of each
+#: inner MIS layer as ``counter_state(trial_seed, layer, DRAW_LAYER)``,
+#: so layers are mutually independent and adding a layer never perturbs
+#: any other draw.
 DRAW_BEEP = 0
 DRAW_LOSS = 1
 DRAW_SPURIOUS = 2
 DRAW_VALUE = 3
 DRAW_MARK = 4
 DRAW_IDS = 5
+DRAW_LAYER = 6
 
 #: Lane tables (``arange(n) * gamma``) for :func:`counter_uniforms`, keyed
 #: by ``n``; experiments touch only a handful of sizes.

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-from random import Random
 from typing import List, Optional
 
 from repro.algorithms.registry import available_algorithms, make_algorithm
@@ -36,6 +35,25 @@ from repro.experiments.tables import format_experiment
 from repro.graphs.random_graphs import gnp_random_graph
 from repro.graphs.structured import grid_graph, hex_lattice_graph
 from repro.viz.ascii_plots import plot_experiment
+
+#: Every CLI RNG flows through ``spawn_rng(seed, *path)`` /
+#: ``derive_seed`` on a disjoint per-purpose path.  Path 0 draws the
+#: graph — shared across commands deliberately, so one ``--seed`` shows
+#: the same graph everywhere — and each command's algorithm randomness
+#: gets its own path below (``run`` already uses the per-trial paths
+#: ``(1, trial)``).  The old scheme seeded ``Random(args.seed + k)``
+#: directly, so adjacent seeds collided across commands: ``wakeup --seed
+#: 7`` and ``match --seed 8`` both consumed ``Random(9)``.
+#: ``tests/test_cli.py`` pins the streams pairwise-distinct.
+CLI_GRAPH_STREAM = 0
+CLI_ALGO_STREAMS = {
+    "color": (2,),
+    "match": (3,),
+    "wakeup-schedule": (4,),
+    "wakeup-run": (5,),
+    "animate": (6,),
+    "bio": (7,),
+}
 
 
 def _add_sweep_execution_arguments(parser: argparse.ArgumentParser) -> None:
@@ -209,11 +227,27 @@ def _build_parser() -> argparse.ArgumentParser:
     color.add_argument("--nodes", type=int, default=60)
     color.add_argument("--edge-probability", type=float, default=0.15)
     color.add_argument("--seed", type=int, default=0)
+    color.add_argument(
+        "--engine", choices=("reference", "fleet"), default="reference",
+        help="reference: per-node peeling; fleet: vectorised kernel batch",
+    )
+    color.add_argument(
+        "--trials", type=int, default=8,
+        help="fleet engine: lockstep colourings per batch",
+    )
 
     match = sub.add_parser("match", help="maximal matching via line-graph MIS")
     match.add_argument("--nodes", type=int, default=40)
     match.add_argument("--edge-probability", type=float, default=0.1)
     match.add_argument("--seed", type=int, default=0)
+    match.add_argument(
+        "--engine", choices=("reference", "fleet"), default="reference",
+        help="reference: per-node line-graph MIS; fleet: vectorised kernel",
+    )
+    match.add_argument(
+        "--trials", type=int, default=8,
+        help="fleet engine: lockstep matchings per batch",
+    )
 
     wakeup = sub.add_parser(
         "wakeup", help="feedback MIS with staggered (wake-on-beep) starts"
@@ -481,7 +515,9 @@ def _command_bio(args: argparse.Namespace) -> int:
 
     graph = hex_lattice_graph(args.rows, args.cols)
     model = NotchDeltaModel(graph)
-    result = model.run(Random(args.seed), t_end=args.t_end)
+    result = model.run(
+        spawn_rng(args.seed, *CLI_ALGO_STREAMS["bio"]), t_end=args.t_end
+    )
     sops = select_sops_by_delta(result.final_delta)
     report = analyze_sop_pattern(graph, sops, result.final_delta)
     print(
@@ -525,17 +561,42 @@ def _command_sizes(args: argparse.Namespace) -> int:
 
 
 def _command_color(args: argparse.Namespace) -> int:
-    from random import Random
-
     from repro.applications.coloring import mis_coloring
 
     graph = gnp_random_graph(
-        args.nodes, args.edge_probability, spawn_rng(args.seed, 0)
+        args.nodes, args.edge_probability,
+        spawn_rng(args.seed, CLI_GRAPH_STREAM),
     )
-    result = mis_coloring(graph, Random(args.seed + 1))
     print(
         f"n={graph.num_vertices} m={graph.num_edges} "
         f"max degree={graph.max_degree()}"
+    )
+    if args.engine == "fleet":
+        from repro.beeping.rng import derive_seed_block
+        from repro.engine.applications import (
+            ApplicationFleetSimulator,
+            ColoringRule,
+        )
+
+        seeds = derive_seed_block(
+            args.seed, *CLI_ALGO_STREAMS["color"], count=args.trials
+        )
+        run = ApplicationFleetSimulator(graph, ColoringRule()).run_fleet(
+            seeds, validate=True
+        )
+        print(
+            f"fleet batch: {run.trials} proper colourings in lockstep "
+            f"(bound {graph.max_degree() + 1}); "
+            f"mean {float(run.layers.mean()):.2f} colours, "
+            f"mean {float(run.rounds.mean()):.1f} total beeping rounds"
+        )
+        print(
+            f"trial 0: {run.num_colors(0)} colours in "
+            f"{int(run.rounds[0])} rounds"
+        )
+        return 0
+    result = mis_coloring(
+        graph, spawn_rng(args.seed, *CLI_ALGO_STREAMS["color"])
     )
     print(
         f"proper colouring: {result.num_colors} colours "
@@ -548,15 +609,40 @@ def _command_color(args: argparse.Namespace) -> int:
 
 
 def _command_match(args: argparse.Namespace) -> int:
-    from random import Random
-
     from repro.applications.matching import mis_matching
 
     graph = gnp_random_graph(
-        args.nodes, args.edge_probability, spawn_rng(args.seed, 0)
+        args.nodes, args.edge_probability,
+        spawn_rng(args.seed, CLI_GRAPH_STREAM),
     )
-    result = mis_matching(graph, Random(args.seed + 1))
     print(f"n={graph.num_vertices} m={graph.num_edges}")
+    if args.engine == "fleet":
+        from repro.beeping.rng import derive_seed_block
+        from repro.engine.applications import (
+            ApplicationFleetSimulator,
+            MatchingRule,
+        )
+
+        seeds = derive_seed_block(
+            args.seed, *CLI_ALGO_STREAMS["match"], count=args.trials
+        )
+        run = ApplicationFleetSimulator(graph, MatchingRule()).run_fleet(
+            seeds, validate=True
+        )
+        sizes = run.membership.sum(axis=1)
+        print(
+            f"fleet batch: {run.trials} maximal matchings in lockstep "
+            f"on the {run.num_vertices}-vertex line graph; "
+            f"mean {float(sizes.mean()):.2f} edges, "
+            f"mean {float(run.rounds.mean()):.1f} rounds"
+        )
+        print(
+            f"trial 0: {int(sizes[0])} edges in {int(run.rounds[0])} rounds"
+        )
+        return 0
+    result = mis_matching(
+        graph, spawn_rng(args.seed, *CLI_ALGO_STREAMS["match"])
+    )
     print(
         f"maximal matching: {result.size} edges in {result.rounds} rounds; "
         f"{len(result.matched_vertices())} vertices matched"
@@ -565,22 +651,22 @@ def _command_match(args: argparse.Namespace) -> int:
 
 
 def _command_wakeup(args: argparse.Namespace) -> int:
-    from random import Random
-
     from repro.beeping.wakeup import WakeupSimulation, random_wake_schedule
     from repro.core.policy import ExponentFeedbackNode
 
     graph = gnp_random_graph(
-        args.nodes, args.edge_probability, spawn_rng(args.seed, 0)
+        args.nodes, args.edge_probability,
+        spawn_rng(args.seed, CLI_GRAPH_STREAM),
     )
     schedule = random_wake_schedule(
-        graph.num_vertices, args.max_delay, Random(args.seed + 1)
+        graph.num_vertices, args.max_delay,
+        spawn_rng(args.seed, *CLI_ALGO_STREAMS["wakeup-schedule"]),
     )
     result = WakeupSimulation(
         graph,
         lambda v: ExponentFeedbackNode(),
         schedule,
-        Random(args.seed + 2),
+        spawn_rng(args.seed, *CLI_ALGO_STREAMS["wakeup-run"]),
     ).run()
     result.verify()
     woken_by_beep = sum(
@@ -607,21 +693,20 @@ def _command_report(args: argparse.Namespace) -> int:
 
 
 def _command_animate(args: argparse.Namespace) -> int:
-    from random import Random
-
     from repro.beeping.events import Trace
     from repro.beeping.scheduler import BeepingSimulation
     from repro.core.policy import ExponentFeedbackNode
     from repro.viz.animation import render_animation
 
     graph = gnp_random_graph(
-        args.nodes, args.edge_probability, spawn_rng(args.seed, 0)
+        args.nodes, args.edge_probability,
+        spawn_rng(args.seed, CLI_GRAPH_STREAM),
     )
     trace = Trace()
     result = BeepingSimulation(
         graph,
         lambda v: ExponentFeedbackNode(),
-        Random(args.seed + 1),
+        spawn_rng(args.seed, *CLI_ALGO_STREAMS["animate"]),
         trace=trace,
     ).run()
     result.verify()

@@ -46,6 +46,18 @@ engines, all implementing the same two-exchange round semantics:
     per-node loop; see :mod:`repro.engine.messages` and
     ``docs/algorithms.md``.
 
+**Application fleet** (:class:`ApplicationFleetSimulator` /
+:class:`ApplicationArmadaSimulator`)
+    The MIS *applications* — iterated-peeling colouring, maximal matching
+    on the array-built line graph, independent dominating sets and
+    (α, α−1)-ruling sets on vectorised graph powers — as
+    :class:`ApplicationRule` reductions on the same lockstep fabric,
+    counter rng mode only.  They are conformance-locked bit for bit
+    against the per-node reductions in :mod:`repro.applications` through
+    the :class:`EngineMIS` adapter;
+    ``benchmarks/bench_application_fleet.py`` records the margin over the
+    per-node peeling loop; see :mod:`repro.engine.applications`.
+
 Seed-derivation contract
 ------------------------
 Every batch derives trial seeds from one master seed with the splitmix64
@@ -86,6 +98,18 @@ from repro.engine.messages import (
     MessageRule,
     MetivierRule,
 )
+from repro.engine.applications import (
+    APPLICATION_RULES,
+    ApplicationArmadaSimulator,
+    ApplicationFleetRun,
+    ApplicationFleetSimulator,
+    ApplicationRule,
+    ColoringRule,
+    DominatingSetRule,
+    EngineMIS,
+    MatchingRule,
+    RulingSetRule,
+)
 from repro.engine.batch import (
     BatchResult,
     run_batch,
@@ -93,14 +117,23 @@ from repro.engine.batch import (
 )
 
 __all__ = [
+    "APPLICATION_RULES",
+    "ApplicationArmadaSimulator",
+    "ApplicationFleetRun",
+    "ApplicationFleetSimulator",
+    "ApplicationRule",
     "ArmadaSimulator",
     "BatchResult",
+    "ColoringRule",
+    "DominatingSetRule",
+    "EngineMIS",
     "EngineRun",
     "FeedbackRule",
     "FleetRun",
     "FleetSimulator",
     "GlobalScheduleRule",
     "LocalMinimumRule",
+    "MatchingRule",
     "LubyPermutationRule",
     "LubyProbabilityRule",
     "MessageArmadaSimulator",
@@ -109,6 +142,7 @@ __all__ = [
     "MessageRule",
     "MetivierRule",
     "ProbabilityRule",
+    "RulingSetRule",
     "SparseSimulator",
     "SweepRule",
     "VectorizedSimulator",

@@ -36,6 +36,14 @@ entry points: ``engine="fleet"`` runs one lockstep
 They are counter-only (``rng_mode="counter"`` required) and reject fault
 models — the per-node message baselines ignore faults, so a silently
 dropped model would misreport robustness results.
+
+Application rules (:class:`~repro.engine.applications.ApplicationRule` —
+MIS-peeling colouring, matching, dominating and ruling sets) batch the
+same way: ``engine="fleet"`` runs one lockstep
+:class:`~repro.engine.applications.ApplicationFleetSimulator` batch over
+complete reductions, ``engine="loop"`` the seed-by-seed oracle, and the
+two are bit-identical.  Like the message rules they are counter-only and
+fault-free; ``rounds`` counts beeping rounds summed over all MIS layers.
 """
 
 from __future__ import annotations
@@ -47,6 +55,11 @@ import numpy as np
 
 from repro.beeping.faults import FaultModel, NO_FAULTS
 from repro.beeping.rng import derive_seed, derive_seed_block
+from repro.engine.applications import (
+    ApplicationFleetSimulator,
+    ApplicationRule,
+    check_application_run,
+)
 from repro.engine.fleet import FleetSimulator
 from repro.engine.messages import (
     MessageFleetSimulator,
@@ -95,6 +108,48 @@ def _run_message_batch(
         trials=trials,
         rounds=rounds,
         mean_beeps=np.zeros(trials, dtype=np.float64),
+    )
+
+
+def _run_application_batch(
+    graph: Graph,
+    rule: ApplicationRule,
+    trials: int,
+    master_seed: int,
+    graph_index: int,
+    validate: bool,
+    max_rounds: int,
+    per_trial: bool,
+) -> BatchResult:
+    """Both batch strategies for an application rule, one simulator.
+
+    Mirrors :func:`_run_message_batch`: ``per_trial=False`` advances all
+    reductions in one lockstep batch, ``per_trial=True`` loops seed by
+    seed, and counter draws make the two bit-identical.  ``rounds`` sums
+    beeping rounds over every MIS layer of the reduction; ``mean_beeps``
+    counts beeps per *host* vertex (line-graph vertices for matching).
+    """
+    seeds = derive_seed_block(master_seed, graph_index, count=trials)
+    simulator = ApplicationFleetSimulator(graph, rule, max_rounds=max_rounds)
+    if per_trial:
+        rounds = np.zeros(trials, dtype=np.int64)
+        mean_beeps = np.zeros(trials, dtype=np.float64)
+        for trial in range(trials):
+            run = simulator.run_fleet(
+                seeds[trial : trial + 1], validate=validate
+            )
+            rounds[trial] = run.rounds[0]
+            mean_beeps[trial] = run.mean_beeps[0]
+    else:
+        run = simulator.run_fleet(seeds, validate=validate)
+        rounds = run.rounds
+        mean_beeps = run.mean_beeps
+    return BatchResult(
+        rule_name=rule.name,
+        num_vertices=graph.num_vertices,
+        trials=trials,
+        rounds=rounds,
+        mean_beeps=mean_beeps,
     )
 
 
@@ -156,6 +211,12 @@ def run_batch_loop(
     if isinstance(probe, MessageRule):
         check_message_run(probe, faults, rng_mode)
         return _run_message_batch(
+            graph, probe, trials, master_seed, graph_index,
+            validate, max_rounds, per_trial=True,
+        )
+    if isinstance(probe, ApplicationRule):
+        check_application_run(probe, faults, rng_mode)
+        return _run_application_batch(
             graph, probe, trials, master_seed, graph_index,
             validate, max_rounds, per_trial=True,
         )
@@ -234,6 +295,12 @@ def run_batch(
     if isinstance(rule, MessageRule):
         check_message_run(rule, faults, rng_mode)
         return _run_message_batch(
+            graph, rule, trials, master_seed, graph_index,
+            validate, max_rounds, per_trial=False,
+        )
+    if isinstance(rule, ApplicationRule):
+        check_application_run(rule, faults, rng_mode)
+        return _run_application_batch(
             graph, rule, trials, master_seed, graph_index,
             validate, max_rounds, per_trial=False,
         )

@@ -9,11 +9,15 @@ comparison into a reproducible grid: every (algorithm, workload, size)
 point is one :class:`~repro.sweep.spec.CellSpec` executed through the
 sharded, content-addressed sweep orchestrator, so
 
-- beeping rules and message-passing kernels both run vectorised — the
-  trial-parallel fleet/armada engines for the former, the message-passing
-  lockstep engines (:mod:`repro.engine.messages`) for the latter; only
-  algorithms outside :data:`~repro.sweep.spec.FLEET_RULES` (e.g.
-  ``greedy``) fall back to the per-node reference engine;
+- beeping rules, message-passing kernels and the MIS application kernels
+  (``mis-coloring``, ``mis-matching``, ``mis-dominating``,
+  ``mis-ruling-3`` — see :mod:`repro.engine.applications`; their
+  ``mis-size`` axis reports the application's output size) all run
+  vectorised — the trial-parallel fleet/armada engines, the
+  message-passing lockstep engines (:mod:`repro.engine.messages`), and
+  the application lockstep engines respectively; only algorithms outside
+  :data:`~repro.sweep.spec.FLEET_RULES` (e.g. ``greedy``) fall back to
+  the per-node reference engine;
 - all algorithms of one size share one master seed, so (in reference
   mode) they see identical graphs, and reruns against a warm cache
   execute zero simulations.

@@ -162,6 +162,34 @@ def _emit_fleet_outcomes(
         )
 
 
+def _emit_application_outcomes(
+    outcomes: List[TrialOutcome],
+    run: "object",
+    rule: "object",
+    host: Graph,
+    group_lo: int,
+) -> None:
+    """Append one group's rows from an ApplicationFleetRun.
+
+    ``mis_size`` carries the application's output size (colour count for
+    peeling, matched edges / chosen vertices otherwise); beep and channel
+    accounting lives on the *host* graph the MIS layers beeped on.
+    """
+    degrees = np.array(host.degrees(), dtype=np.int64)
+    for t in range(run.trials):
+        channel_bits = int((run.beeps_by_node[t] * degrees).sum())
+        outcomes.append(
+            TrialOutcome(
+                trial=group_lo + t,
+                rounds=int(run.rounds[t]),
+                mis_size=int(rule.output_size(run, t)),
+                mean_beeps_per_node=float(run.mean_beeps[t]),
+                messages=channel_bits,
+                bits=channel_bits,
+            )
+        )
+
+
 def run_fleet_trials(
     rule_factory: "Callable[[], object]",
     graph_factory: GraphFactory,
@@ -207,8 +235,28 @@ def run_fleet_trials(
     windows, per-graph :class:`~repro.engine.messages.MessageFleetSimulator`
     otherwise — and rows carry the references' message/bit accounting.
     Message rules are counter-only and reject fault models.
+
+    It may equally produce an
+    :class:`~repro.engine.applications.ApplicationRule` (MIS-peeling
+    colouring, matching, dominating and ruling sets): the same seed paths
+    then drive the application lockstep engines —
+    :class:`~repro.engine.applications.ApplicationArmadaSimulator` when
+    every group's *host* graph has the same vertex count (edge count for
+    matching), per-graph
+    :class:`~repro.engine.applications.ApplicationFleetSimulator`
+    otherwise.  Rows then report the application's output size (colour
+    count, matched edges, chosen vertices) as ``mis_size``, beeping
+    rounds summed over all MIS layers as ``rounds``, and beep/channel
+    accounting on the host graph.  Application rules are counter-only
+    and reject fault models, like the message rules.
     """
     from repro.beeping.rng import derive_seed_block
+    from repro.engine.applications import (
+        ApplicationArmadaSimulator,
+        ApplicationFleetSimulator,
+        ApplicationRule,
+        check_application_run,
+    )
     from repro.engine.fleet import ArmadaSimulator, FleetSimulator
     from repro.engine.messages import (
         MessageArmadaSimulator,
@@ -225,6 +273,9 @@ def run_fleet_trials(
     message = isinstance(rule, MessageRule)
     if message:
         check_message_run(rule, faults, rng_mode)
+    application = isinstance(rule, ApplicationRule)
+    if application:
+        check_application_run(rule, faults, rng_mode)
     lo, hi = _resolve_trial_range(trials, trial_range)
     stream = RngStream(master_seed)
     per_graph = [trials // graphs] * graphs
@@ -275,6 +326,38 @@ def run_fleet_trials(
                 validate=validate,
             )
             _emit_message_outcomes(outcomes, run, group_lo)
+        return outcomes
+    if application:
+        # Armada eligibility depends on the *host* sizes (e.g. the line
+        # graph's vertex count for matching), checked cheaply via
+        # host_size before any host graph is built.
+        same_host = len({rule.host_size(graph) for graph in drawn}) == 1
+        if same_host and drawn:
+            armada = ApplicationArmadaSimulator(
+                drawn, rule, max_rounds=max_rounds
+            )
+            runs = armada.run_armada(
+                [group_seeds(*group) for group in selected],
+                validate=validate,
+            )
+            for (graph_index, group_lo, group_hi), host, run in zip(
+                selected, armada.hosts, runs
+            ):
+                _emit_application_outcomes(
+                    outcomes, run, rule, host, group_lo
+                )
+            return outcomes
+        for (graph_index, group_lo, group_hi), graph in zip(selected, drawn):
+            simulator = ApplicationFleetSimulator(
+                graph, rule, max_rounds=max_rounds
+            )
+            run = simulator.run_fleet(
+                group_seeds(graph_index, group_lo, group_hi),
+                validate=validate,
+            )
+            _emit_application_outcomes(
+                outcomes, run, rule, simulator.host, group_lo
+            )
         return outcomes
     if rng_mode == "counter" and len(drawn) >= 1 and same_n:
         # The armada path: every group of the window in one batch.

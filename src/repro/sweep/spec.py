@@ -41,6 +41,7 @@ from typing import Any, Callable, Dict, List, Tuple, Union
 from repro.algorithms.registry import available_algorithms
 from repro.beeping.faults import CrashSchedule, FaultModel
 from repro.beeping.rng import RNG_MODES
+from repro.engine.applications import APPLICATION_RULES, ApplicationRule
 from repro.engine.messages import MESSAGE_RULES, MessageRule
 from repro.engine.rules import FeedbackRule, ProbabilityRule, SweepRule
 from repro.graphs.graph import Graph
@@ -50,25 +51,37 @@ from repro.graphs.structured import grid_graph
 #: Bump to invalidate every stored shard (seed or row semantics changed).
 #: v2: fleet cells grew an ``rng_mode`` (defaulting to the new counter
 #: discipline), so v1 fleet rows — all stream-mode — must not be served
-#: for v2 keys.
+#: for v2 keys.  The application kernels (``mis-*``) did NOT need a bump:
+#: they are new algorithm names, so their shards hash to fresh keys on
+#: their own, and no pre-existing fingerprint changed.
 SPEC_FORMAT_VERSION = 2
 
 ENGINES = ("fleet", "reference")
 FAMILIES = ("gnp", "grid")
 
 #: Rules the fleet engines can run by name: the trial-parallel beeping
-#: probability rules plus the message-passing kernels (whose factories
-#: produce :class:`~repro.engine.messages.MessageRule` instances —
+#: probability rules, the message-passing kernels, and the MIS
+#: application kernels (factories producing
+#: :class:`~repro.engine.messages.MessageRule` /
+#: :class:`~repro.engine.applications.ApplicationRule` instances —
 #: ``run_fleet_trials`` dispatches on the rule type).
-FLEET_RULES: Dict[str, Callable[[], Union[MessageRule, ProbabilityRule]]] = {
+FLEET_RULES: Dict[
+    str, Callable[[], Union[ApplicationRule, MessageRule, ProbabilityRule]]
+] = {
     "feedback": FeedbackRule,
     "afek-sweep": SweepRule,
     **MESSAGE_RULES,
+    **APPLICATION_RULES,
 }
 
 #: The subset of :data:`FLEET_RULES` that runs the message-passing
 #: fabric: counter rng mode only, no fault injection.
 MESSAGE_FLEET_RULES = frozenset(MESSAGE_RULES)
+
+#: The subset of :data:`FLEET_RULES` that runs the application fabric
+#: (MIS-peeling colouring, matching, dominating, ruling sets): like the
+#: message kernels, counter rng mode only and no fault injection.
+APPLICATION_FLEET_RULES = frozenset(APPLICATION_RULES)
 
 
 def canonical_json(payload: Any) -> str:
@@ -86,9 +99,13 @@ class CellSpec:
 
     - ``"fleet"`` — :func:`repro.experiments.runner.run_fleet_trials`:
       ``trials`` spread over ``graphs`` lockstep groups, ``algorithm``
-      names a :data:`FLEET_RULES` entry — a beeping probability rule or
+      names a :data:`FLEET_RULES` entry — a beeping probability rule,
       one of the message-passing kernels (:data:`MESSAGE_FLEET_RULES`:
-      the Luby variants, Métivier, local-minimum-id).  ``rng_mode`` picks
+      the Luby variants, Métivier, local-minimum-id), or one of the MIS
+      application kernels (:data:`APPLICATION_FLEET_RULES`: ``mis-*``
+      colouring, matching, dominating and ruling-set reductions, whose
+      ``mis_size`` column carries the application's output size).
+      ``rng_mode`` picks
       the uniform discipline: ``"counter"`` (default) runs all groups as
       one block-diagonal armada batch; ``"stream"`` keeps the per-graph
       sequential-generator path whose bytes the golden traces pin.
@@ -161,15 +178,23 @@ class CellSpec:
                     f"fleet engine supports rules {sorted(FLEET_RULES)}, "
                     f"got {self.algorithm!r}"
                 )
-            if self.algorithm in MESSAGE_FLEET_RULES:
+            if (
+                self.algorithm in MESSAGE_FLEET_RULES
+                or self.algorithm in APPLICATION_FLEET_RULES
+            ):
+                kind = (
+                    "message"
+                    if self.algorithm in MESSAGE_FLEET_RULES
+                    else "application"
+                )
                 if self.rng_mode != "counter":
                     raise ValueError(
-                        f"message algorithm {self.algorithm!r} runs the "
+                        f"{kind} algorithm {self.algorithm!r} runs the "
                         "counter fabric only; use rng_mode='counter'"
                     )
                 if not self.fault_model().is_fault_free:
                     raise ValueError(
-                        f"message algorithm {self.algorithm!r} does not "
+                        f"{kind} algorithm {self.algorithm!r} does not "
                         "support fault injection on the fleet engine"
                     )
         elif self.algorithm not in available_algorithms():

@@ -60,6 +60,16 @@ class TestMisColoring:
         verify_coloring(graph, result.colors)
         assert result.num_colors <= graph.max_degree() + 1
 
+    @pytest.mark.parametrize("seed", range(5))
+    def test_num_colors_is_the_verified_count(self, seed):
+        # Regression: num_colors used to be the peeling loop counter with
+        # verify_coloring's return value discarded; the two are now the
+        # same number by construction.
+        graph = gnp_random_graph(30, 0.3, Random(seed))
+        result = mis_coloring(graph, Random(seed + 20))
+        assert result.num_colors == len(set(result.colors))
+        assert result.num_colors == verify_coloring(graph, result.colors)
+
     def test_layers_partition_vertices(self):
         graph = gnp_random_graph(25, 0.4, Random(6))
         result = mis_coloring(graph, Random(7))

@@ -38,6 +38,24 @@ class TestLineGraph:
         assert lg.num_vertices == 3
         assert lg.num_edges == 3
 
+    def test_tolerates_non_normalised_edge_order(self):
+        # Regression: the index was keyed by raw edges() tuples while the
+        # lookup normalised to (min, max), so a subclass yielding (v, u)
+        # pairs KeyError'd.  Both sides are normalised now.
+        class ReversedEdgeGraph(Graph):
+            def edges(self):
+                for u, v in super().edges():
+                    yield (v, u)
+
+        base = gnp_random_graph(12, 0.4, Random(7))
+        reversed_graph = ReversedEdgeGraph(
+            base.num_vertices, base.edges()
+        )
+        lg, edges = line_graph(reversed_graph)
+        base_lg, base_edges = line_graph(base)
+        assert lg == base_lg
+        assert edges == base_edges  # normalised (u, v) with u <= v
+
     def test_empty(self):
         lg, edges = line_graph(empty_graph(4))
         assert lg.num_vertices == 0

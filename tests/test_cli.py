@@ -197,10 +197,28 @@ class TestApplications:
         out = capsys.readouterr().out
         assert "proper colouring" in out
 
+    def test_color_fleet_engine(self, capsys):
+        assert main(
+            ["color", "--nodes", "25", "--engine", "fleet", "--trials", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "proper colouring" in out
+        assert "fleet batch" in out
+        assert "trial 0" in out
+
     def test_match(self, capsys):
         assert main(["match", "--nodes", "25"]) == 0
         out = capsys.readouterr().out
         assert "maximal matching" in out
+
+    def test_match_fleet_engine(self, capsys):
+        assert main(
+            ["match", "--nodes", "25", "--engine", "fleet", "--trials", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "maximal matching" in out
+        assert "fleet batch" in out
+        assert "trial 0" in out
 
     def test_wakeup(self, capsys):
         assert main(["wakeup", "--nodes", "30", "--max-delay", "5"]) == 0
@@ -217,3 +235,34 @@ class TestApplications:
         assert main(["report", "--trials", "3"]) == 0
         out = capsys.readouterr().out
         assert "verdicts:" in out
+
+
+class TestSeedDiscipline:
+    def test_cli_streams_are_pairwise_distinct(self):
+        """No (command, seed) pair may collide with any other.
+
+        Regression: the algorithm RNGs used to be ``Random(args.seed + k)``
+        with per-command offsets, so ``wakeup --seed 7`` and ``match
+        --seed 8`` consumed the same ``Random(9)`` stream.  Routed
+        through ``spawn_rng(seed, *path)``, every stream seed is a
+        distinct splitmix derivation.
+        """
+        from repro.beeping.rng import derive_seed
+        from repro.cli import CLI_ALGO_STREAMS
+
+        seen = {}
+        for seed in range(11):  # includes the historic 7/8 collision
+            for command, path in CLI_ALGO_STREAMS.items():
+                stream_seed = derive_seed(seed, *path)
+                assert stream_seed not in seen, (
+                    f"({command}, seed {seed}) collides with "
+                    f"{seen[stream_seed]}"
+                )
+                seen[stream_seed] = (command, seed)
+
+    def test_stream_paths_are_unique(self):
+        from repro.cli import CLI_ALGO_STREAMS, CLI_GRAPH_STREAM
+
+        paths = list(CLI_ALGO_STREAMS.values())
+        assert len(set(paths)) == len(paths)
+        assert (CLI_GRAPH_STREAM,) not in paths
