@@ -12,19 +12,30 @@ Subcommands
   crashes) through the cached orchestrator, on the fleet engine.
 - ``theorem1`` — the lower-bound experiment on the clique family.
 - ``bio``      — run the Notch–Delta lattice model and report the pattern.
+- ``stats``    — summarise telemetry run ledgers and bench-floor drift.
 - ``list``     — list the registered algorithms.
 
 ``figure3``, ``figure5``, ``sizes``, ``sweep`` and ``robustness`` accept
 ``--jobs`` (shard
 execution over worker processes) and ``--cache-dir`` (serve already-stored
 shards from the content-addressed result store); neither affects results.
+
+Every subcommand additionally accepts ``--telemetry DIR`` (write a JSONL
+run ledger, default ``$REPRO_TELEMETRY_DIR``), ``--verbose`` (per-shard
+progress lines on stderr as cold sweeps execute) and ``--quiet``
+(suppress the ``#`` summary lines).  Telemetry is out of band: it draws
+no randomness and changes no result bytes.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
+
+from repro.telemetry import Collector, capture, record_run
 
 from repro.algorithms.registry import available_algorithms, make_algorithm
 from repro.beeping.rng import derive_seed, spawn_rng
@@ -65,6 +76,27 @@ def _add_sweep_execution_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="content-addressed result store; reruns are served from it",
+    )
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """The observability knobs shared by *every* subcommand."""
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--telemetry", default=None, metavar="DIR",
+        help=(
+            "record this run as a JSONL ledger under DIR "
+            "(default: $REPRO_TELEMETRY_DIR; results are unaffected)"
+        ),
+    )
+    verbosity = group.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="per-shard progress lines on stderr while sweeps execute",
+    )
+    verbosity.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="suppress the trailing '#' summary lines",
     )
 
 
@@ -270,7 +302,34 @@ def _build_parser() -> argparse.ArgumentParser:
     animate.add_argument("--edge-probability", type=float, default=0.4)
     animate.add_argument("--seed", type=int, default=0)
 
+    stats = sub.add_parser(
+        "stats", help="summarise telemetry ledgers and bench-floor drift"
+    )
+    stats.add_argument(
+        "--ledger", default=None, metavar="DIR",
+        help="ledger directory (default: --telemetry / $REPRO_TELEMETRY_DIR)",
+    )
+    stats.add_argument(
+        "--run", default=None, metavar="ID",
+        help="run id (prefix ok) for the detail section (default: newest)",
+    )
+    stats.add_argument(
+        "--bench-dir", default=".", metavar="DIR",
+        help="directory holding committed BENCH_*.json records",
+    )
+    stats.add_argument(
+        "--slowest", type=int, default=5, metavar="N",
+        help="how many slowest shards to show (default: 5)",
+    )
+    stats.add_argument(
+        "--json", action="store_true", help="emit the JSON document instead"
+    )
+
     sub.add_parser("list", help="list registered algorithms")
+    # Observability is uniform: every subcommand takes the same
+    # --telemetry/--verbose/--quiet trio.
+    for subparser in sub.choices.values():
+        _add_telemetry_arguments(subparser)
     return parser
 
 
@@ -397,12 +456,14 @@ def _command_sweep(args: argparse.Namespace) -> int:
     if args.csv:
         # Keep stdout pure CSV (byte-stable, parseable); report on stderr.
         print(results_to_csv(result), end="")
-        print(summary, file=sys.stderr)
+        if not args.quiet:
+            print(summary, file=sys.stderr)
     else:
         print(format_experiment(result))
         print()
         print(plot_experiment(result, y_label=quantity))
-        print(summary)
+        if not args.quiet:
+            print(summary)
     return 0
 
 
@@ -433,7 +494,8 @@ def _command_compare(args: argparse.Namespace) -> int:
     if args.csv:
         # Keep stdout pure CSV (byte-stable, parseable); report on stderr.
         print(comparison_csv(result), end="")
-        print(summary, file=sys.stderr)
+        if not args.quiet:
+            print(summary, file=sys.stderr)
         return 0
     print(f"comparison (seed={args.seed})")
     print(result.table())
@@ -441,7 +503,8 @@ def _command_compare(args: argparse.Namespace) -> int:
     print(plot_experiment(result.rounds, y_label="rounds"))
     print()
     print(plot_experiment(result.bits_per_node, y_label="bits/node"))
-    print(summary)
+    if not args.quiet:
+        print(summary)
     return 0
 
 
@@ -484,7 +547,8 @@ def _command_robustness(args: argparse.Namespace) -> int:
     if args.csv:
         # Keep stdout pure CSV (byte-stable, parseable); report on stderr.
         print(results_to_csv(result), end="")
-        print(summary, file=sys.stderr)
+        if not args.quiet:
+            print(summary, file=sys.stderr)
     else:
         print(format_experiment(result))
         print()
@@ -493,7 +557,8 @@ def _command_robustness(args: argparse.Namespace) -> int:
                 result, y_label=quantity, x_label="spurious probability"
             )
         )
-        print(summary)
+        if not args.quiet:
+            print(summary)
     return 0
 
 
@@ -718,6 +783,30 @@ def _command_animate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_stats(args: argparse.Namespace) -> int:
+    from repro.telemetry import format_stats, stats_payload
+
+    root = args.ledger or _telemetry_root(args)
+    if root is None:
+        raise SystemExit(
+            "repro stats needs a ledger directory: pass --ledger/--telemetry "
+            "or set REPRO_TELEMETRY_DIR"
+        )
+    if args.json:
+        print(
+            json.dumps(
+                stats_payload(
+                    root, args.bench_dir, args.run, slowest=args.slowest
+                ),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(format_stats(root, args.bench_dir, args.run, slowest=args.slowest))
+    return 0
+
+
 def _command_list(_args: argparse.Namespace) -> int:
     for name in available_algorithms():
         print(name)
@@ -739,14 +828,71 @@ _COMMANDS = {
     "wakeup": _command_wakeup,
     "report": _command_report,
     "animate": _command_animate,
+    "stats": _command_stats,
     "list": _command_list,
 }
 
 
+def _telemetry_root(args: argparse.Namespace) -> Optional[str]:
+    """The ledger root: ``--telemetry`` first, then the environment."""
+    explicit = getattr(args, "telemetry", None)
+    if explicit:
+        return explicit
+    return os.environ.get("REPRO_TELEMETRY_DIR") or None
+
+
+def _progress_sink(event: dict) -> None:
+    """``--verbose``: narrate sweep progress from the probe stream.
+
+    Runs as a collector sink, so cold sweeps report each executed shard
+    the moment its worker finishes — no engine or orchestrator code knows
+    the CLI is watching.
+    """
+    name = event.get("name")
+    if event.get("event") == "span" and name == "sweep.shard":
+        attrs = event.get("attrs", {})
+        if attrs.get("cached"):
+            return
+        print(
+            f"# shard {attrs.get('index', '?')}/{attrs.get('total', '?')} "
+            f"{attrs.get('algorithm', '?')}[n={attrs.get('n', '?')} "
+            f"{attrs.get('lo', '?')}:{attrs.get('hi', '?')}] "
+            f"{float(event.get('seconds', 0.0)):.3f}s",
+            file=sys.stderr,
+        )
+    elif event.get("event") == "annotation" and name == "sweep.resume":
+        attrs = event.get("attrs", {})
+        print(
+            f"# resuming: {attrs.get('cached', '?')} shards cached, "
+            f"{attrs.get('missing', '?')} to execute",
+            file=sys.stderr,
+        )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point for ``repro-mis`` and ``python -m repro``."""
+    """Entry point for ``repro-mis`` and ``python -m repro``.
+
+    With ``--telemetry``/``$REPRO_TELEMETRY_DIR`` set, the whole command
+    runs inside :func:`repro.telemetry.record_run`, so every probe the
+    layers below fire lands in one per-run JSONL ledger; ``--verbose``
+    additionally streams shard progress to stderr.  Neither changes any
+    result byte (``stats`` only *reads* ledgers and is never recorded).
+    """
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    handler = _COMMANDS[args.command]
+    root = _telemetry_root(args) if args.command != "stats" else None
+    verbose = getattr(args, "verbose", False)
+    if root is None and not verbose:
+        return handler(args)
+    collector = Collector()
+    if verbose:
+        collector.add_sink(_progress_sink)
+    if root is not None:
+        recorded_argv = list(argv) if argv is not None else sys.argv[1:]
+        with record_run(root, args.command, recorded_argv, collector):
+            return handler(args)
+    with capture(collector):
+        return handler(args)
 
 
 if __name__ == "__main__":

@@ -82,6 +82,7 @@ from repro.engine.simulator import DEFAULT_MAX_ROUNDS
 from repro.engine.sparse import build_csr
 from repro.graphs.graph import Graph
 from repro.graphs.validation import verify_mis
+from repro.telemetry import probes
 
 
 def line_graph_arrays(
@@ -497,6 +498,13 @@ def _run_application_lockstep(
             break
         remaining &= colors < 0
         layer += 1
+    if probes.enabled():
+        probes.count("engine.application.runs")
+        probes.count("engine.application.trials", total)
+        probes.count("engine.application.rounds", int(rounds.max(initial=0)))
+        probes.count("engine.application.layers", int(layers.max(initial=0)))
+        if blocks:
+            probes.count(f"engine.backend.{blocks[0][0]._backend}")
     return rounds, layers, colors, beeps
 
 

@@ -87,6 +87,7 @@ from repro.engine.simulator import (
 from repro.engine.sparse import build_csr, csr_row_counts
 from repro.graphs.graph import Graph
 from repro.graphs.validation import verify_mis
+from repro.telemetry import probes
 
 #: Largest vertex count for which the ``auto`` backend picks the dense
 #: (float32 GEMM) path; a 4096^2 float32 adjacency is 64 MB.
@@ -308,6 +309,11 @@ class FleetSimulator:
         history = [] if record_beeps else None
         alive = active.any(axis=1)
         round_index = 0
+        # Telemetry is out of band: the flag is hoisted so disabled runs
+        # pay one boolean check per round, and the active-cell tally (the
+        # only probe-side computation) happens only when probes are on.
+        telemetry_on = probes.enabled()
+        active_cells = 0
         while alive.any():
             if round_index >= self._max_rounds:
                 raise RuntimeError(
@@ -322,6 +328,8 @@ class FleetSimulator:
                 newly_crashed = active & crash
                 crashed |= newly_crashed
                 active &= ~newly_crashed
+            if telemetry_on:
+                active_cells += int(np.count_nonzero(active))
             live = np.flatnonzero(alive)
             if counter:
                 # Counter mode: each enabled kind's whole block is one
@@ -391,6 +399,16 @@ class FleetSimulator:
             ),
             crashed=crashed,
         )
+        if telemetry_on:
+            probes.count("engine.fleet.runs")
+            probes.count("engine.fleet.rounds", round_index)
+            probes.count("engine.fleet.trials", trials)
+            probes.count(f"engine.backend.{self._backend}")
+            if round_index and trials and n:
+                probes.gauge(
+                    "engine.fleet.active_fraction",
+                    active_cells / (round_index * trials * n),
+                )
         if validate:
             for trial in range(trials):
                 verify_mis(
@@ -750,6 +768,10 @@ class ArmadaSimulator:
         if frontier_limit is None:
             frontier_limit = max(256, (total * n) // 3)
         round_index = 0
+        # Out-of-band telemetry (hoisted flag; the only probe-side work,
+        # the active-cell tally, runs only when probes are on).
+        telemetry_on = probes.enabled()
+        active_cells = 0
         # ---------------- dense phase ----------------
         while alive.any():
             if round_index >= self._max_rounds:
@@ -763,6 +785,8 @@ class ArmadaSimulator:
                 newly_crashed = active & crash
                 crashed |= newly_crashed
                 active &= ~newly_crashed
+            if telemetry_on:
+                active_cells += int(np.count_nonzero(active))
             if not noisy:
                 # Counter draws are pure per-slot functions, so dead rows
                 # may read fresh uniforms (their active mask is False);
@@ -819,9 +843,18 @@ class ArmadaSimulator:
             alive = still_alive
             round_index += 1
         # ---------------- frontier phase ----------------
+        dense_rounds = round_index
         if alive.any():
             entry_rows, entry_cols = np.nonzero(active)
             entry_p = probabilities[entry_rows, entry_cols]
+            if telemetry_on:
+                probes.count("engine.armada.frontier_transitions")
+                probes.gauge(
+                    "engine.armada.frontier_round", float(round_index)
+                )
+                probes.gauge(
+                    "engine.armada.frontier_entries", float(entry_rows.size)
+                )
             heard_buffer = np.zeros((total, n), dtype=bool)
             true_entries = np.ones(0, dtype=bool)
             # Padded slot-row index for the staged-GEMM heard fallback:
@@ -868,6 +901,8 @@ class ArmadaSimulator:
                         entry_rows = entry_rows[keep]
                         entry_cols = entry_cols[keep]
                         entry_p = entry_p[keep]
+                if telemetry_on:
+                    active_cells += int(entry_rows.size)
                 if (
                     state_block is None
                     or round_index >= state_block_base + state_block_rounds
@@ -955,6 +990,21 @@ class ArmadaSimulator:
                 alive = surviving
                 round_index += 1
         # ---------------- assemble per-graph runs ----------------
+        if telemetry_on:
+            probes.count("engine.armada.runs")
+            probes.count("engine.armada.graphs", num_graphs)
+            probes.count("engine.armada.trials", total)
+            probes.count("engine.armada.rounds", round_index)
+            probes.count("engine.armada.dense_rounds", dense_rounds)
+            probes.count(
+                "engine.armada.frontier_rounds", round_index - dense_rounds
+            )
+            probes.count(f"engine.backend.{self._backend}")
+            if round_index and total and n:
+                probes.gauge(
+                    "engine.armada.active_fraction",
+                    active_cells / (round_index * total * n),
+                )
         runs: List[FleetRun] = []
         offset = 0
         for g, size in enumerate(sizes):

@@ -89,6 +89,7 @@ from repro.engine.simulator import DEFAULT_MAX_ROUNDS
 from repro.engine.sparse import build_csr, csr_row_counts
 from repro.graphs.graph import Graph
 from repro.graphs.validation import verify_mis
+from repro.telemetry import probes
 
 #: "No candidate neighbour" in the masked-minimum reduction.  A real key
 #: can collide with it only at probability 2^-64 per draw (value-based
@@ -505,6 +506,12 @@ def _run_message_lockstep(
         rounds[alive & ~still_alive] = round_index + 1
         alive = still_alive
         round_index += 1
+    if probes.enabled():
+        probes.count("engine.message.runs")
+        probes.count("engine.message.rounds", round_index)
+        probes.count("engine.message.trials", total)
+        if blocks:
+            probes.count(f"engine.backend.{blocks[0][0]._backend}")
     return rounds, membership, messages, bits
 
 

@@ -52,6 +52,7 @@ from repro.beeping.rng import (
 from repro.engine.rules import ProbabilityRule
 from repro.graphs.graph import Graph
 from repro.graphs.validation import verify_mis
+from repro.telemetry import probes
 
 DEFAULT_MAX_ROUNDS = 100_000
 
@@ -220,6 +221,9 @@ class VectorizedSimulator:
             rounds += 1
         mis = {int(v) for v in np.flatnonzero(in_mis)}
         crashed_set = {int(v) for v in np.flatnonzero(crashed)}
+        if probes.enabled():
+            probes.count("engine.dense.runs")
+            probes.count("engine.dense.rounds", rounds)
         if validate:
             verify_mis(self._graph, mis, crashed=crashed_set)
         return EngineRun(

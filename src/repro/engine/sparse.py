@@ -30,6 +30,7 @@ from repro.engine.rules import ProbabilityRule
 from repro.engine.simulator import EngineRun, check_rng_mode, faulty_observation
 from repro.graphs.graph import Graph
 from repro.graphs.validation import verify_mis
+from repro.telemetry import probes
 
 DEFAULT_MAX_ROUNDS = 100_000
 
@@ -207,6 +208,9 @@ class SparseSimulator:
             rounds += 1
         mis: Set[int] = {int(v) for v in np.flatnonzero(in_mis)}
         crashed_set = {int(v) for v in np.flatnonzero(crashed)}
+        if probes.enabled():
+            probes.count("engine.sparse.runs")
+            probes.count("engine.sparse.rounds", rounds)
         if validate:
             verify_mis(self._graph, mis, crashed=crashed_set)
         return EngineRun(

@@ -13,6 +13,18 @@ order workers finish in.
 
 Executed shards are written back to the store as they complete, so an
 interrupted sweep resumes from its last finished shard.
+
+Telemetry (:mod:`repro.telemetry`) is wired through the parent process:
+every shard lookup/execution becomes one ``sweep.shard`` span (with the
+shard's sha256 content hash, cell coordinates and cached flag as attrs),
+cache hits/misses tick ``sweep.cache.*`` counters, a partially-cached
+sweep emits a ``sweep.resume`` annotation, and the executed-vs-wall-clock
+ratio lands in the ``sweep.worker_utilisation`` gauge.  Workers time
+themselves and return the number, so shard spans are complete at any job
+count; probes fired *inside* worker processes (engine-level telemetry)
+only reach the collector for inline execution.  All of it is out of band
+— with no collector installed the probes are no-ops and the sweep's rows
+are byte-identical either way.
 """
 
 from __future__ import annotations
@@ -26,25 +38,72 @@ from repro.algorithms.registry import make_algorithm
 from repro.experiments.runner import TrialOutcome, run_fleet_trials, run_trials
 from repro.sweep.spec import FLEET_RULES, CellSpec, ShardSpec, SweepSpec
 from repro.sweep.store import PathLike, ResultStore
+from repro.telemetry import probes
+
+
+@dataclass(frozen=True)
+class ShardTiming:
+    """Wall time of one shard within a sweep (lookup or execution)."""
+
+    algorithm: str
+    n: int
+    lo: int
+    hi: int
+    seconds: float
+    cached: bool
+    content_hash: str
+
+    def label(self) -> str:
+        """Compact ``algorithm[n=..] [lo, hi)`` tag for report lines."""
+        return f"{self.algorithm}[n={self.n} {self.lo}:{self.hi}]"
 
 
 @dataclass
 class SweepReport:
-    """What a sweep actually did (cache hits vs. executed work)."""
+    """What a sweep actually did (cache hits vs. executed work).
+
+    ``timings`` keeps one entry per distinct shard: executed shards carry
+    their measured compute wall time, cached shards the (much smaller)
+    store lookup time — the numbers ``_execute_shard_timed`` and the
+    store used to measure and drop.
+    """
 
     shards_total: int = 0
     shards_executed: int = 0
     shards_cached: int = 0
     seconds_executed: float = 0.0
+    timings: List[ShardTiming] = field(default_factory=list)
+
+    @property
+    def cache_hit_rate(self) -> Optional[float]:
+        """Cached fraction of all distinct shard lookups, or ``None``."""
+        looked_up = self.shards_executed + self.shards_cached
+        if looked_up <= 0:
+            return None
+        return self.shards_cached / looked_up
+
+    def slowest_shards(self, limit: int = 3) -> List[ShardTiming]:
+        """The executed shards with the largest wall time, slowest first."""
+        executed = [t for t in self.timings if not t.cached]
+        executed.sort(key=lambda timing: -timing.seconds)
+        return executed[:limit]
 
     def summary(self) -> str:
         """One human-readable line for CLI output."""
-        return (
+        rate = self.cache_hit_rate
+        line = (
             f"shards: total={self.shards_total} "
             f"executed={self.shards_executed} "
             f"cached={self.shards_cached} "
+            f"hit-rate={'-' if rate is None else f'{100.0 * rate:.0f}%'} "
             f"compute={self.seconds_executed:.3f}s"
         )
+        slowest = self.slowest_shards(1)
+        if slowest:
+            line += (
+                f" slowest={slowest[0].label()} {slowest[0].seconds:.3f}s"
+            )
+        return line
 
 
 @dataclass
@@ -100,6 +159,20 @@ def _execute_shard_timed(shard: ShardSpec) -> Tuple[List[TrialOutcome], float]:
     return rows, time.perf_counter() - start
 
 
+def _timing(
+    shard: ShardSpec, digest: str, seconds: float, cached: bool
+) -> ShardTiming:
+    return ShardTiming(
+        algorithm=shard.cell.algorithm,
+        n=shard.cell.num_vertices,
+        lo=shard.lo,
+        hi=shard.hi,
+        seconds=seconds,
+        cached=cached,
+        content_hash=digest,
+    )
+
+
 def run_sweep(
     spec: SweepSpec,
     store: Optional[Union[ResultStore, PathLike]] = None,
@@ -123,26 +196,69 @@ def run_sweep(
     by_hash: Dict[str, ShardSpec] = {}
     for shard in shards:
         by_hash.setdefault(shard.content_hash(), shard)
+    distinct = len(by_hash)
 
     rows_by_hash: Dict[str, List[TrialOutcome]] = {}
     missing: List[ShardSpec] = []
     for digest, shard in by_hash.items():
+        lookup_start = time.perf_counter()
         cached = store.get(shard) if store is not None else None
         if cached is not None:
+            lookup_seconds = time.perf_counter() - lookup_start
             rows_by_hash[digest] = cached
             report.shards_cached += 1
+            report.timings.append(
+                _timing(shard, digest, lookup_seconds, cached=True)
+            )
+            probes.count("sweep.cache.hit")
+            probes.span_event(
+                "sweep.shard",
+                lookup_seconds,
+                algorithm=shard.cell.algorithm,
+                n=shard.cell.num_vertices,
+                lo=shard.lo,
+                hi=shard.hi,
+                cached=True,
+                content_hash=digest,
+            )
         else:
             missing.append(shard)
 
+    if report.shards_cached and missing:
+        # A partially warm cache means this sweep resumed earlier work.
+        probes.annotate(
+            "sweep.resume",
+            cached=report.shards_cached,
+            missing=len(missing),
+        )
+
     def record(shard: ShardSpec, rows: List[TrialOutcome], elapsed: float) -> None:
-        rows_by_hash[shard.content_hash()] = rows
+        digest = shard.content_hash()
+        rows_by_hash[digest] = rows
         report.shards_executed += 1
         report.seconds_executed += elapsed
+        report.timings.append(_timing(shard, digest, elapsed, cached=False))
         if store is not None:
             store.put(shard, rows, elapsed_seconds=elapsed)
+        probes.count("sweep.cache.miss")
+        probes.span_event(
+            "sweep.shard",
+            elapsed,
+            algorithm=shard.cell.algorithm,
+            n=shard.cell.num_vertices,
+            lo=shard.lo,
+            hi=shard.hi,
+            cached=False,
+            content_hash=digest,
+            index=report.shards_executed,
+            total=distinct - report.shards_cached,
+        )
 
+    workers = 1
+    execute_start = time.perf_counter()
     if len(missing) > 1 and jobs > 1:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(missing))) as pool:
+        workers = min(jobs, len(missing))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
                 pool.submit(_execute_shard_timed, shard): shard
                 for shard in missing
@@ -154,6 +270,15 @@ def run_sweep(
         for shard in missing:
             rows, elapsed = _execute_shard_timed(shard)
             record(shard, rows, elapsed)
+
+    if probes.enabled() and report.shards_executed:
+        wall = time.perf_counter() - execute_start
+        probes.gauge("sweep.workers", float(workers))
+        if wall > 0.0:
+            probes.gauge(
+                "sweep.worker_utilisation",
+                report.seconds_executed / (wall * workers),
+            )
 
     result = SweepResult(spec=spec, report=report)
     for cell in spec.cells:

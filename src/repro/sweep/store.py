@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.experiments.runner import TrialOutcome
 from repro.sweep.spec import ShardSpec
+from repro.telemetry import probes
 
 PathLike = Union[str, Path]
 
@@ -159,6 +160,7 @@ class ResultStore:
         """Stored rows for the shard, or ``None`` on any inconsistency."""
         manifest = self.manifest(shard)
         if manifest is None:
+            probes.count("store.miss")
             return None
         try:
             text = self.rows_path(shard).read_text(encoding="utf-8")
@@ -168,9 +170,14 @@ class ResultStore:
                 if line.strip()
             ]
         except (OSError, ValueError, KeyError, TypeError):
+            probes.count("store.miss")
             return None
         if len(rows) != manifest.rows or len(rows) != shard.trials:
+            probes.count("store.miss")
             return None
+        probes.count("store.hit")
+        # JSON rows are ASCII, so the character count is the byte count.
+        probes.count("store.bytes_read", len(text))
         return rows
 
     def put(
@@ -187,10 +194,10 @@ class ResultStore:
             )
         from repro import __version__
 
-        self._atomic_write(
-            self.rows_path(shard),
-            "".join(_row_to_json(o) + "\n" for o in outcomes),
-        )
+        rows_text = "".join(_row_to_json(o) + "\n" for o in outcomes)
+        self._atomic_write(self.rows_path(shard), rows_text)
+        probes.count("store.puts")
+        probes.count("store.bytes_written", len(rows_text))
         manifest = ShardManifest(
             content_hash=shard.content_hash(),
             store_format=STORE_FORMAT_VERSION,

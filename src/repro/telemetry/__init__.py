@@ -1,0 +1,62 @@
+"""Telemetry fabric: zero-cost probes, a per-run ledger, and stats queries.
+
+- :mod:`repro.telemetry.probes` — the probe API (context-manager spans,
+  monotonic counters, gauges, annotations).  No-op unless a collector is
+  installed; never draws randomness or alters engine behaviour.
+- :mod:`repro.telemetry.ledger` — per-run JSONL event ledgers keyed by
+  the sweep store's sha256 content hashes, with damage-tolerant readers.
+- :mod:`repro.telemetry.stats` — the ``repro stats`` queries: per-run
+  summaries, cache hit-rates, slowest shards, bench-floor drift.
+
+See ``docs/observability.md`` for the full walkthrough.
+"""
+
+from repro.telemetry.ledger import (
+    LEDGER_FORMAT_VERSION,
+    RunLedger,
+    RunSummary,
+    read_events,
+    record_run,
+    summarize_run,
+)
+from repro.telemetry.probes import (
+    Collector,
+    annotate,
+    capture,
+    collector,
+    count,
+    enabled,
+    gauge,
+    span,
+    span_event,
+)
+from repro.telemetry.stats import (
+    BenchDrift,
+    bench_drift,
+    format_stats,
+    load_runs,
+    stats_payload,
+)
+
+__all__ = [
+    "LEDGER_FORMAT_VERSION",
+    "RunLedger",
+    "RunSummary",
+    "read_events",
+    "record_run",
+    "summarize_run",
+    "Collector",
+    "annotate",
+    "capture",
+    "collector",
+    "count",
+    "enabled",
+    "gauge",
+    "span",
+    "span_event",
+    "BenchDrift",
+    "bench_drift",
+    "format_stats",
+    "load_runs",
+    "stats_payload",
+]

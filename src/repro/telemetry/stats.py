@@ -1,0 +1,269 @@
+"""Queries over a telemetry ledger directory — the ``repro stats`` engine.
+
+Three report sections, each with a table renderer and a JSON-safe dict
+form (``repro stats --json``):
+
+- **runs** — one row per ledger file: command, status, elapsed seconds,
+  shard counts, cache hit-rate.
+- **per-run detail** (``--run``/latest): elapsed phases, counters,
+  gauges, and the slowest executed shards with their spec hashes.
+- **bench floors** — the committed ``BENCH_*.json`` records next to the
+  ledger: measured speedup vs the CI-enforced floor, and the drift
+  (headroom) between them.  A benchmark drifting toward its floor is the
+  early warning the floors themselves only give at the cliff edge.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.telemetry.ledger import RunSummary, summarize_run
+
+PathLike = Union[str, Path]
+
+
+def ledger_paths(root: PathLike) -> List[Path]:
+    """Every run ledger under ``root``, oldest first.
+
+    Run ids start with a zero-padded hex timestamp, so lexicographic
+    filename order is chronological order.
+    """
+    directory = Path(root)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("run-*.jsonl"))
+
+
+def load_runs(root: PathLike) -> List[RunSummary]:
+    """Summaries of every ledger run under ``root``, oldest first."""
+    return [summarize_run(path) for path in ledger_paths(root)]
+
+
+@dataclass(frozen=True)
+class BenchDrift:
+    """One committed benchmark record vs its CI floor."""
+
+    name: str
+    speedup: Optional[float]
+    floor: Optional[float]
+
+    @property
+    def headroom(self) -> Optional[float]:
+        """``speedup / floor`` — drift toward 1.0 means trouble brewing."""
+        if self.speedup is None or not self.floor:
+            return None
+        return self.speedup / self.floor
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form."""
+        return {
+            "name": self.name,
+            "speedup": self.speedup,
+            "floor": self.floor,
+            "headroom": self.headroom,
+        }
+
+
+def bench_drift(bench_dir: PathLike) -> List[BenchDrift]:
+    """Parse every ``BENCH_*.json`` under ``bench_dir`` into drift rows.
+
+    Records without a ``speedup`` result or a ``floor`` still appear
+    (with ``None`` fields) so the report shows the full trajectory;
+    unreadable files are skipped.
+    """
+    rows: List[BenchDrift] = []
+    directory = Path(bench_dir)
+    if not directory.is_dir():
+        return rows
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        results = payload.get("results", {})
+        speedup = results.get("speedup")
+        rows.append(
+            BenchDrift(
+                name=str(payload.get("bench", path.stem)),
+                speedup=float(speedup) if speedup is not None else None,
+                floor=(
+                    float(payload["floor"])
+                    if payload.get("floor") is not None
+                    else None
+                ),
+            )
+        )
+    return rows
+
+
+def _format_rate(rate: Optional[float]) -> str:
+    return "-" if rate is None else f"{100.0 * rate:.0f}%"
+
+
+def runs_table(runs: List[RunSummary]) -> str:
+    """The per-run summary table (newest last, like the directory)."""
+    from repro.experiments.tables import format_table
+
+    rows = []
+    for run in runs:
+        executed = run.counters.get("sweep.cache.miss", 0.0)
+        cached = run.counters.get("sweep.cache.hit", 0.0)
+        rows.append(
+            [
+                run.run_id[:12] or run.path.stem,
+                run.command or "?",
+                run.status,
+                f"{run.elapsed_seconds:.3f}",
+                f"{int(executed)}",
+                f"{int(cached)}",
+                _format_rate(run.cache_hit_rate),
+            ]
+        )
+    return format_table(
+        ["run", "command", "status", "seconds", "shards run", "cached",
+         "hit-rate"],
+        rows,
+    )
+
+
+def run_detail(run: RunSummary, slowest: int = 5) -> str:
+    """The drill-down report for one run."""
+    from repro.experiments.tables import format_table
+
+    lines = [
+        f"run {run.run_id} command={run.command or '?'} "
+        f"status={run.status} elapsed={run.elapsed_seconds:.3f}s",
+        "versions: "
+        + " ".join(f"{k}={v}" for k, v in sorted(run.versions.items())),
+    ]
+    if run.phases:
+        lines.append("phases:")
+        for name, seconds in sorted(
+            run.phases.items(), key=lambda item: -item[1]
+        ):
+            lines.append(f"  {name}: {seconds:.3f}s")
+    if run.counters:
+        lines.append("counters:")
+        for name, value in sorted(run.counters.items()):
+            lines.append(f"  {name}: {value:g}")
+    if run.gauges:
+        lines.append("gauges:")
+        for name, value in sorted(run.gauges.items()):
+            lines.append(f"  {name}: {value:g}")
+    shards = run.slowest_shards(slowest)
+    if shards:
+        lines.append("slowest shards:")
+        lines.append(
+            format_table(
+                ["algorithm", "n", "window", "seconds", "hash"],
+                [
+                    [
+                        str(shard.get("algorithm", "?")),
+                        str(shard.get("n", "?")),
+                        f"[{shard.get('lo', '?')}, {shard.get('hi', '?')})",
+                        f"{float(shard.get('seconds', 0.0)):.3f}",
+                        str(shard.get("content_hash", ""))[:12],
+                    ]
+                    for shard in shards
+                ],
+            )
+        )
+    return "\n".join(lines)
+
+
+def bench_table(rows: List[BenchDrift]) -> str:
+    """The bench-floor drift table."""
+    from repro.experiments.tables import format_table
+
+    def fmt(value: Optional[float], suffix: str = "") -> str:
+        return "-" if value is None else f"{value:.2f}{suffix}"
+
+    return format_table(
+        ["bench", "speedup", "floor", "headroom"],
+        [
+            [row.name, fmt(row.speedup, "x"), fmt(row.floor, "x"),
+             fmt(row.headroom)]
+            for row in rows
+        ],
+    )
+
+
+def stats_payload(
+    root: PathLike,
+    bench_dir: Optional[PathLike] = None,
+    run_id: Optional[str] = None,
+    slowest: int = 5,
+) -> Dict[str, Any]:
+    """The machine-readable ``repro stats --json`` document."""
+    runs = load_runs(root)
+    selected = _select_run(runs, run_id)
+    payload: Dict[str, Any] = {
+        "ledger": str(Path(root)),
+        "runs": [
+            {
+                "run_id": run.run_id,
+                "command": run.command,
+                "status": run.status,
+                "elapsed_seconds": run.elapsed_seconds,
+                "cache_hits": run.cache_hits,
+                "cache_misses": run.cache_misses,
+                "cache_hit_rate": run.cache_hit_rate,
+                "counters": run.counters,
+                "gauges": run.gauges,
+                "phases": run.phases,
+                "versions": run.versions,
+            }
+            for run in runs
+        ],
+        "benches": [
+            row.to_dict()
+            for row in bench_drift(bench_dir if bench_dir is not None else ".")
+        ],
+    }
+    if selected is not None:
+        payload["run_detail"] = {
+            "run_id": selected.run_id,
+            "command": selected.command,
+            "spec_hashes": selected.spec_hashes,
+            "slowest_shards": selected.slowest_shards(slowest),
+        }
+    return payload
+
+
+def _select_run(
+    runs: List[RunSummary], run_id: Optional[str]
+) -> Optional[RunSummary]:
+    """The requested run (prefix match), else the newest, else ``None``."""
+    if run_id is not None:
+        for run in runs:
+            if run.run_id.startswith(run_id):
+                return run
+        raise SystemExit(f"no ledger run matches id {run_id!r}")
+    return runs[-1] if runs else None
+
+
+def format_stats(
+    root: PathLike,
+    bench_dir: Optional[PathLike] = None,
+    run_id: Optional[str] = None,
+    slowest: int = 5,
+) -> str:
+    """The human-readable ``repro stats`` report."""
+    runs = load_runs(root)
+    sections: List[str] = []
+    if not runs:
+        sections.append(f"no ledger runs under {Path(root)}")
+    else:
+        sections.append(f"ledger: {Path(root)} ({len(runs)} runs)")
+        sections.append(runs_table(runs))
+        selected = _select_run(runs, run_id)
+        if selected is not None:
+            sections.append(run_detail(selected, slowest=slowest))
+    drift = bench_drift(bench_dir if bench_dir is not None else ".")
+    if drift:
+        sections.append("bench floors (committed BENCH_*.json):")
+        sections.append(bench_table(drift))
+    return "\n\n".join(sections)

@@ -249,3 +249,57 @@ class TestAggregation:
         result = run_sweep(SweepSpec((REFERENCE_CELL,)))
         with pytest.raises(ValueError, match="quantity"):
             outcome_value(result.rows(REFERENCE_CELL)[0], "latency")
+
+
+class TestReportTimings:
+    """SweepReport keeps the per-shard numbers it used to drop."""
+
+    def test_cold_sweep_records_one_timing_per_shard(self, tmp_path):
+        result = run_sweep(
+            SweepSpec((FLEET_CELL,), shard_trials=4), store=tmp_path
+        )
+        report = result.report
+        assert report.shards_total == 3
+        assert len(report.timings) == 3
+        assert all(not t.cached for t in report.timings)
+        assert report.cache_hit_rate == 0.0
+        assert sum(t.seconds for t in report.timings) == pytest.approx(
+            report.seconds_executed
+        )
+        windows = sorted((t.lo, t.hi) for t in report.timings)
+        assert windows == [(0, 4), (4, 8), (8, 10)]
+        assert all(len(t.content_hash) == 64 for t in report.timings)
+
+    def test_warm_sweep_timings_are_cached_lookups(self, tmp_path):
+        spec = SweepSpec((FLEET_CELL,), shard_trials=4)
+        run_sweep(spec, store=tmp_path)
+        warm = run_sweep(spec, store=tmp_path).report
+        assert warm.shards_executed == 0
+        assert warm.cache_hit_rate == 1.0
+        assert all(t.cached for t in warm.timings)
+        assert warm.slowest_shards() == []
+
+    def test_slowest_shards_rank_executed_work(self):
+        from repro.sweep.orchestrator import ShardTiming, SweepReport
+
+        report = SweepReport(shards_total=3)
+        fast = ShardTiming("feedback", 30, 0, 4, 0.1, False, "aa")
+        slow = ShardTiming("feedback", 30, 4, 8, 0.9, False, "bb")
+        hit = ShardTiming("feedback", 30, 8, 10, 5.0, True, "cc")
+        report.timings.extend([fast, slow, hit])
+        report.shards_executed = 2
+        report.shards_cached = 1
+        report.seconds_executed = 1.0
+        assert report.slowest_shards(1) == [slow]
+        summary = report.summary()
+        assert "executed=2" in summary
+        assert "cached=1" in summary
+        assert "hit-rate=33%" in summary
+        assert "slowest=feedback[n=30 4:8] 0.900s" in summary
+
+    def test_empty_report_summary(self):
+        from repro.sweep.orchestrator import SweepReport
+
+        report = SweepReport()
+        assert report.cache_hit_rate is None
+        assert "hit-rate=-" in report.summary()

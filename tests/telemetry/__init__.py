@@ -1,0 +1,1 @@
+"""Tests of the telemetry fabric (probes, ledger, stats)."""

@@ -1,0 +1,121 @@
+"""The per-run JSONL ledger: round-trips, damage tolerance, summaries."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import probes
+from repro.telemetry.ledger import (
+    LEDGER_FORMAT_VERSION,
+    RunLedger,
+    read_events,
+    record_run,
+    summarize_run,
+)
+from repro.telemetry.stats import ledger_paths
+
+
+class TestRunLedger:
+    def test_header_and_end_round_trip(self, tmp_path):
+        ledger = RunLedger(tmp_path, "sweep", argv=["--trials", "8"])
+        ledger.write({"event": "counter", "name": "x", "value": 1})
+        ledger.close(status="ok", phases={"sweep.shard": 1.5})
+        events = read_events(ledger.path)
+        assert [e["event"] for e in events] == ["run", "counter", "end"]
+        header, _, end = events
+        assert header["ledger_format"] == LEDGER_FORMAT_VERSION
+        assert header["command"] == "sweep"
+        assert header["argv"] == ["--trials", "8"]
+        assert set(header["versions"]) == {"repro", "python", "numpy"}
+        assert end["status"] == "ok"
+        assert end["phases"] == {"sweep.shard": 1.5}
+        assert end["elapsed_seconds"] >= 0.0
+
+    def test_close_is_idempotent(self, tmp_path):
+        ledger = RunLedger(tmp_path, "run")
+        ledger.close()
+        ledger.close()
+        assert sum(
+            1 for e in read_events(ledger.path) if e["event"] == "end"
+        ) == 1
+
+    def test_run_ids_sort_chronologically(self, tmp_path):
+        first = RunLedger(tmp_path, "a")
+        first.close()
+        second = RunLedger(tmp_path, "b")
+        second.close()
+        assert ledger_paths(tmp_path) == [first.path, second.path]
+
+
+class TestRecordRun:
+    def test_probes_stream_into_the_ledger(self, tmp_path):
+        with record_run(tmp_path, "sweep", ["--seed", "7"]):
+            probes.count("sweep.cache.hit", 3)
+            probes.span_event("sweep.shard", 0.25, content_hash="ab" * 32)
+        (path,) = ledger_paths(tmp_path)
+        summary = summarize_run(path)
+        assert summary.command == "sweep"
+        assert summary.status == "ok"
+        assert summary.counters["sweep.cache.hit"] == 3.0
+        assert summary.phases == {"sweep.shard": 0.25}
+        assert summary.spec_hashes == ["ab" * 32]
+        assert not probes.enabled()
+
+    def test_error_status_on_exception(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            with record_run(tmp_path, "sweep"):
+                probes.count("sweep.cache.miss")
+                raise RuntimeError("boom")
+        (path,) = ledger_paths(tmp_path)
+        summary = summarize_run(path)
+        assert summary.status == "error"
+        assert summary.counters["sweep.cache.miss"] == 1.0
+        assert not probes.enabled()
+
+
+class TestDamageTolerance:
+    """Like the result store, readers treat damage as data loss."""
+
+    def test_truncated_tail_line_is_skipped(self, tmp_path):
+        ledger = RunLedger(tmp_path, "sweep")
+        ledger.write({"event": "counter", "name": "x", "value": 2})
+        ledger.close()
+        # Simulate a torn write: a half-finished JSON line at the tail.
+        with ledger.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"event":"counter","na')
+        events = read_events(ledger.path)
+        assert [e["event"] for e in events] == ["run", "counter", "end"]
+
+    def test_corrupt_middle_line_loses_itself_not_the_run(self, tmp_path):
+        ledger = RunLedger(tmp_path, "sweep")
+        ledger.close()
+        lines = ledger.path.read_text(encoding="utf-8").splitlines()
+        lines.insert(1, "not json at all")
+        lines.insert(2, json.dumps(["parseable", "but", "not", "an", "event"]))
+        ledger.path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        summary = summarize_run(ledger.path)
+        assert summary.status == "ok"
+
+    def test_crashed_run_reads_as_incomplete(self, tmp_path):
+        ledger = RunLedger(tmp_path, "sweep")
+        ledger.write({"event": "counter", "name": "x", "value": 1})
+        # No close(): the writer died.  The ledger is still readable.
+        summary = summarize_run(ledger.path)
+        assert summary.status == "incomplete"
+        assert summary.counters == {"x": 1.0}
+        ledger.close()
+
+    def test_missing_file_reads_as_empty(self, tmp_path):
+        assert read_events(tmp_path / "run-nope.jsonl") == []
+
+    def test_malformed_event_fields_lose_the_line_only(self, tmp_path):
+        ledger = RunLedger(tmp_path, "sweep")
+        ledger.write({"event": "counter", "name": "good", "value": 1})
+        ledger.write({"event": "counter"})  # no name/value
+        ledger.write({"event": "gauge", "name": "g", "value": "NaN-ish"})
+        ledger.close()
+        summary = summarize_run(ledger.path)
+        assert summary.counters == {"good": 1.0}
+        assert summary.status == "ok"

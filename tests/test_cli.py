@@ -266,3 +266,151 @@ class TestSeedDiscipline:
         paths = list(CLI_ALGO_STREAMS.values())
         assert len(set(paths)) == len(paths)
         assert (CLI_GRAPH_STREAM,) not in paths
+
+
+class TestObservabilityFlags:
+    """--telemetry/--verbose/--quiet behave the same on every subcommand."""
+
+    SWEEP = [
+        "sweep", "--algorithms", "feedback", "--sizes", "16",
+        "--trials", "4", "--csv",
+    ]
+
+    def test_every_subcommand_accepts_the_trio(self):
+        from repro.cli import _build_parser
+
+        parser = _build_parser()
+        subparsers = next(
+            action for action in parser._actions
+            if isinstance(action, __import__("argparse")._SubParsersAction)
+        )
+        for name, subparser in subparsers.choices.items():
+            flags = {
+                flag
+                for action in subparser._actions
+                for flag in action.option_strings
+            }
+            assert {"--telemetry", "--verbose", "--quiet"} <= flags, name
+
+    def test_verbose_and_quiet_are_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self.SWEEP + ["--verbose", "--quiet"])
+        capsys.readouterr()
+
+    def test_quiet_suppresses_the_summary_line(self, capsys, tmp_path):
+        assert main(
+            self.SWEEP + ["--cache-dir", str(tmp_path), "--quiet"]
+        ) == 0
+        out, err = capsys.readouterr()
+        assert "series,x,mean,std,trials" in out
+        assert "executed=" not in err
+
+    def test_verbose_streams_shard_progress(self, capsys):
+        assert main(self.SWEEP + ["--verbose"]) == 0
+        _out, err = capsys.readouterr()
+        assert "# shard 1/1 feedback[n=16 0:4]" in err
+        assert "executed=1" in err
+
+    def test_telemetry_records_a_ledger_run(self, capsys, tmp_path):
+        from repro.telemetry import load_runs
+
+        ledger = tmp_path / "ledger"
+        assert main(self.SWEEP + ["--telemetry", str(ledger)]) == 0
+        capsys.readouterr()
+        (run,) = load_runs(ledger)
+        assert run.command == "sweep"
+        assert run.status == "ok"
+        assert run.argv[0] == "sweep"
+        assert run.counters["sweep.cache.miss"] == 1.0
+        assert run.versions["repro"]
+        assert run.spec_hashes
+
+    def test_environment_variable_sets_the_ledger(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.telemetry import load_runs
+
+        ledger = tmp_path / "env-ledger"
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(ledger))
+        assert main(self.SWEEP) == 0
+        capsys.readouterr()
+        (run,) = load_runs(ledger)
+        assert run.command == "sweep"
+
+    def test_telemetry_leaves_output_bytes_unchanged(self, capsys, tmp_path):
+        assert main(self.SWEEP) == 0
+        plain = capsys.readouterr().out
+        assert main(self.SWEEP + ["--telemetry", str(tmp_path / "l")]) == 0
+        probed = capsys.readouterr().out
+        assert plain == probed
+
+
+class TestStats:
+    SWEEP = [
+        "sweep", "--algorithms", "feedback", "--sizes", "16",
+        "--trials", "4", "--csv",
+    ]
+
+    def test_needs_a_ledger_directory(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY_DIR", raising=False)
+        with pytest.raises(SystemExit, match="ledger"):
+            main(["stats"])
+
+    def test_reports_a_recorded_sweep(self, capsys, tmp_path):
+        ledger = tmp_path / "ledger"
+        cache = tmp_path / "cache"
+        sweep = self.SWEEP + [
+            "--cache-dir", str(cache), "--telemetry", str(ledger),
+        ]
+        assert main(sweep) == 0
+        assert main(sweep) == 0  # warm rerun: 100% hit-rate
+        capsys.readouterr()
+        assert main(["stats", "--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "2 runs" in out
+        assert "100%" in out
+        assert "slowest shards" not in out or "feedback" in out
+
+    def test_json_mode_is_machine_readable(self, capsys, tmp_path):
+        import json
+
+        ledger = tmp_path / "ledger"
+        assert main(self.SWEEP + ["--telemetry", str(ledger)]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--ledger", str(ledger), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (run,) = payload["runs"]
+        assert run["command"] == "sweep"
+        assert payload["run_detail"]["spec_hashes"]
+
+    def test_stats_itself_is_never_recorded(self, capsys, tmp_path):
+        from repro.telemetry import load_runs
+
+        ledger = tmp_path / "ledger"
+        assert main(self.SWEEP + ["--telemetry", str(ledger)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["stats", "--ledger", str(ledger), "--telemetry", str(ledger)]
+        ) == 0
+        capsys.readouterr()
+        assert len(load_runs(ledger)) == 1
+
+    def test_bench_drift_section(self, capsys, tmp_path):
+        import json
+
+        ledger = tmp_path / "ledger"
+        assert main(self.SWEEP + ["--telemetry", str(ledger)]) == 0
+        (tmp_path / "BENCH_demo.json").write_text(
+            json.dumps(
+                {"bench": "demo", "results": {"speedup": 4.0}, "floor": 2.0}
+            ),
+            encoding="utf-8",
+        )
+        capsys.readouterr()
+        assert main(
+            ["stats", "--ledger", str(ledger), "--bench-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bench floors" in out
+        assert "4.00x" in out
+        assert "2.00" in out

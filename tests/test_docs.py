@@ -40,13 +40,14 @@ def test_doc_files_present():
     assert "perf.md" in names
     assert "algorithms.md" in names
     assert "sweep.md" in names
+    assert "observability.md" in names
 
 
 def test_docs_index_orders_the_docs():
     """docs/README.md is the reading-order index of the doc set."""
     index = (REPO_ROOT / "docs" / "README.md").read_text(encoding="utf-8")
     ordered = ["TUTORIAL.md", "architecture.md", "algorithms.md",
-               "sweep.md", "robustness.md", "perf.md"]
+               "sweep.md", "robustness.md", "perf.md", "observability.md"]
     positions = [index.find(name) for name in ordered]
     assert all(p >= 0 for p in positions), (
         f"docs/README.md must link all of {ordered}"
@@ -54,7 +55,7 @@ def test_docs_index_orders_the_docs():
     assert positions == sorted(positions), (
         "docs/README.md must keep the reading order "
         "TUTORIAL -> architecture -> algorithms -> sweep -> robustness "
-        "-> perf"
+        "-> perf -> observability"
     )
 
 
