@@ -158,6 +158,26 @@ def seed_array(seeds):
     return np.asarray(flat, dtype=np.uint64).reshape(arr.shape)
 
 
+def stream_generators(seeds):
+    """One sequential ``numpy`` generator per seed, in seed order.
+
+    The ``"stream"`` rng mode boots exactly one ``default_rng`` per trial
+    and every engine must consume the streams in the identical per-round
+    order; centralising the boot keeps the fleet engines' generator lists
+    byte-identical by construction (same seeds, same PCG64 states) rather
+    than by convention.
+
+    >>> gens = stream_generators([1, 2])
+    >>> import numpy as np
+    >>> bool(np.array_equal(gens[0].random(3),
+    ...                     np.random.default_rng(1).random(3)))
+    True
+    """
+    import numpy as np
+
+    return [np.random.default_rng(int(seed)) for seed in seeds]
+
+
 def counter_uniforms(seeds, round_index: int, draw_kind: int, n: int):
     """Stateless uniforms in ``[0, 1)``, shape ``np.shape(seeds) + (n,)``.
 

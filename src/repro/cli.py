@@ -175,6 +175,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fleet engine: independent graphs per cell",
     )
     sweep.add_argument(
+        "--backend", choices=("auto", "dense", "sparse", "bitboard"),
+        default="auto",
+        help="fleet neighbour-reduction kernel; pure execution strategy, "
+        "rows are bit-identical across backends",
+    )
+    sweep.add_argument(
         "--quantity",
         choices=("rounds", "beeps", "mis-size", "messages", "bits"),
         default="rounds",
@@ -427,6 +433,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
                     trials=args.trials,
                     graphs=args.graphs,
                     master_seed=derive_seed(args.seed, size_index),
+                    backend=args.backend,
                     **family,
                 )
             )
@@ -439,6 +446,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         master_seed=args.seed,
         parameters={
             "engine": args.engine,
+            "backend": args.backend,
             "family": args.family,
             "sizes": list(args.sizes),
             "trials": args.trials,

@@ -20,12 +20,15 @@ engines, all implementing the same two-exchange round semantics:
 
 **Fleet** (:class:`FleetSimulator`)
     All ``trials`` independent runs of one graph in lockstep as
-    ``(trials, n)`` tensors: one batched float32 GEMM (dense backend) or
-    one CSR ``reduceat`` pass (sparse backend) per round serves the whole
-    batch, and finished trials drop out through an alive-mask.  Wins
+    ``(trials, n)`` tensors: one batched float32 GEMM (dense backend),
+    one CSR ``reduceat`` pass (sparse backend), or one packed ``uint64``
+    AND/OR pass (bitboard backend, :class:`BitboardKernel`) per round
+    serves the whole batch, and finished trials drop out through an
+    alive-mask (the bitboard backend compacts them away entirely).  Wins
     whenever many trials of one graph are needed — i.e. every figure
     benchmark; ``benchmarks/bench_fleet_speedup.py`` records the margin
-    over the per-trial loop.
+    over the per-trial loop and ``benchmarks/bench_bitboard_fleet.py``
+    the bitboard margin over the dense backend.
 
 **Armada** (:class:`ArmadaSimulator`)
     The fleet lifted one dimension: every same-``n`` graph group of one
@@ -87,6 +90,7 @@ from repro.engine.rules import (
 )
 from repro.engine.simulator import EngineRun, VectorizedSimulator
 from repro.engine.sparse import SparseSimulator
+from repro.engine.bitboard import BitboardKernel
 from repro.engine.fleet import ArmadaSimulator, FleetRun, FleetSimulator
 from repro.engine.messages import (
     LocalMinimumRule,
@@ -124,6 +128,7 @@ __all__ = [
     "ApplicationRule",
     "ArmadaSimulator",
     "BatchResult",
+    "BitboardKernel",
     "ColoringRule",
     "DominatingSetRule",
     "EngineMIS",

@@ -253,6 +253,7 @@ def run_batch(
     engine: str = "auto",
     faults: FaultModel = NO_FAULTS,
     rng_mode: str = "stream",
+    backend: str = "auto",
 ) -> BatchResult:
     """Run ``trials`` independent simulations of one rule on one graph.
 
@@ -261,8 +262,12 @@ def run_batch(
     execution strategy (``"auto"``, ``"fleet"`` or ``"loop"``; see module
     docstring) without affecting results; neither does ``faults`` depend
     on it — both strategies inject the same vectorised fault model.
-    ``rng_mode`` *does* affect results (the two disciplines draw different
-    uniforms) but never the fleet/loop agreement, which holds per mode.
+    ``backend`` selects the fleet path's neighbour-reduction kernel
+    (``"auto"``, ``"dense"``, ``"sparse"`` or ``"bitboard"``;
+    :class:`~repro.engine.fleet.FleetSimulator`) — pure execution
+    strategy again, bit-identical results.  ``rng_mode`` *does* affect
+    results (the two disciplines draw different uniforms) but never the
+    fleet/loop agreement, which holds per mode.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -305,7 +310,7 @@ def run_batch(
             validate, max_rounds, per_trial=False,
         )
     seeds = derive_seed_block(master_seed, graph_index, count=trials)
-    simulator = FleetSimulator(graph, max_rounds=max_rounds)
+    simulator = FleetSimulator(graph, max_rounds=max_rounds, backend=backend)
     run = simulator.run_fleet(
         rule, seeds, validate=validate, faults=faults, rng_mode=rng_mode
     )

@@ -76,7 +76,9 @@ from repro.beeping.rng import (
     counter_uniforms,
     counter_uniforms_at,
     seed_array,
+    stream_generators,
 )
+from repro.engine.bitboard import BitboardKernel, run_bitboard_fleet
 from repro.engine.rules import ProbabilityRule
 from repro.engine.simulator import (
     DEFAULT_MAX_ROUNDS,
@@ -152,10 +154,15 @@ class FleetSimulator:
       small integers) and BLAS-fast; memory is the n x n adjacency.
     - ``"sparse"``: gather + ``add.reduceat`` over CSR neighbour lists,
       O(trials * (n + m)) per round; the large-sparse-graph path.
+    - ``"bitboard"``: flags and adjacency rows packed into ``uint64``
+      lanes; the OR is bitwise AND/OR over the packed rows and counts
+      come from ``popcount`` (:mod:`repro.engine.bitboard`).  Runs its
+      own live-row-compacted loop with a counter-mode frontier tail —
+      the fastest backend at figure sizes, opt-in.
     - ``"auto"`` (default): dense up to :data:`DENSE_VERTEX_LIMIT` vertices,
       sparse beyond.
 
-    Both backends produce identical booleans, so backend choice never
+    All backends produce identical booleans, so backend choice never
     changes results — only speed and memory.
     """
 
@@ -167,9 +174,10 @@ class FleetSimulator:
     ) -> None:
         if max_rounds < 1:
             raise ValueError("max_rounds must be >= 1")
-        if backend not in ("auto", "dense", "sparse"):
+        if backend not in ("auto", "dense", "sparse", "bitboard"):
             raise ValueError(
-                f"backend must be 'auto', 'dense' or 'sparse', got {backend!r}"
+                "backend must be 'auto', 'dense', 'sparse' or 'bitboard', "
+                f"got {backend!r}"
             )
         self._graph = graph
         self._max_rounds = max_rounds
@@ -182,6 +190,8 @@ class FleetSimulator:
             # Reused float32 staging buffer for the GEMM operand; grown on
             # demand, so no per-round astype allocation on the hot path.
             self._flags32: Optional[np.ndarray] = None
+        elif backend == "bitboard":
+            self._kernel = BitboardKernel(graph)
         else:
             self._columns, self._starts, self._isolated = build_csr(graph)
 
@@ -192,7 +202,7 @@ class FleetSimulator:
 
     @property
     def backend(self) -> str:
-        """The resolved backend, ``"dense"`` or ``"sparse"``."""
+        """The resolved backend: ``"dense"``, ``"sparse"`` or ``"bitboard"``."""
         return self._backend
 
     def _as_float32(self, flags: np.ndarray) -> np.ndarray:
@@ -206,6 +216,8 @@ class FleetSimulator:
 
     def _neighbor_or(self, flags: np.ndarray) -> np.ndarray:
         """Row-wise: whether any neighbour's flag is set, per vertex."""
+        if self._backend == "bitboard":
+            return self._kernel.neighbor_or(flags)
         if self._backend == "dense":
             k, n = flags.shape
             if n == 0:
@@ -231,6 +243,8 @@ class FleetSimulator:
         k, n = flags.shape
         if n == 0:
             return np.zeros((k, 0), dtype=np.int64)
+        if self._backend == "bitboard":
+            return self._kernel.neighbor_counts(flags)
         if self._backend == "dense":
             # float32 GEMM counts are exact small integers (degree < 2^24).
             counts = self._as_float32(flags) @ self._adjacency
@@ -277,6 +291,20 @@ class FleetSimulator:
                 f"rule {rule.name!r} is not trial-parallel; "
                 "use the per-trial loop instead"
             )
+        if self._backend == "bitboard":
+            # The bitboard engine runs its own (live-row-compacted) loop;
+            # same draw order per mode, bit-identical results.
+            return run_bitboard_fleet(
+                self._kernel,
+                self._graph,
+                rule,
+                seeds,
+                validate=validate,
+                record_beeps=record_beeps,
+                faults=faults,
+                rng_mode=rng_mode,
+                max_rounds=self._max_rounds,
+            )
         n = self._graph.num_vertices
         trials = len(seeds)
         loss = faults.beep_loss_probability
@@ -291,7 +319,7 @@ class FleetSimulator:
             trial_seeds = seed_array(seeds)
             generators = None
         else:
-            generators = [np.random.default_rng(int(seed)) for seed in seeds]
+            generators = stream_generators(seeds)
         active = np.ones((trials, n), dtype=bool)
         membership = np.zeros((trials, n), dtype=bool)
         probabilities = np.broadcast_to(
@@ -439,9 +467,10 @@ class ArmadaSimulator:
 
     - **Dense phase** (early rounds, most vertices active): the
       one-bit OR observation is one *batched* float32 GEMM against the
-      ``(graphs, n, n)`` adjacency stack (``"dense"`` backend) or a
-      per-graph CSR ``add.reduceat`` pass (``"sparse"`` backend), exact
-      in both cases.
+      ``(graphs, n, n)`` adjacency stack (``"dense"`` backend), a
+      per-graph CSR ``add.reduceat`` pass (``"sparse"`` backend), or a
+      per-graph packed AND/OR over ``uint64`` bitboard rows
+      (``"bitboard"`` backend) — exact in all cases.
     - **Frontier phase** (fault-free runs, once the live fraction is
       small): the state collapses to the list of still-active ``(slot,
       vertex)`` entries.  Uniforms are evaluated only at those entries
@@ -471,9 +500,10 @@ class ArmadaSimulator:
             raise ValueError("need at least one graph")
         if max_rounds < 1:
             raise ValueError("max_rounds must be >= 1")
-        if backend not in ("auto", "dense", "sparse"):
+        if backend not in ("auto", "dense", "sparse", "bitboard"):
             raise ValueError(
-                f"backend must be 'auto', 'dense' or 'sparse', got {backend!r}"
+                "backend must be 'auto', 'dense', 'sparse' or 'bitboard', "
+                f"got {backend!r}"
             )
         if frontier_entries is not None and frontier_entries < 0:
             raise ValueError(
@@ -539,6 +569,11 @@ class ArmadaSimulator:
                 self._adjacency[g].reshape(-1)[rows * n + columns] = 1.0
             self._flags32: Optional[np.ndarray] = None
             self._counts32: Optional[np.ndarray] = None
+        elif backend == "bitboard":
+            # One packed kernel per graph; the dense-phase reductions
+            # loop over the (few) graph groups, and the frontier phase
+            # uses the shared block-diagonal CSR scatter unchanged.
+            self._kernels = [BitboardKernel(graph) for graph in self._graphs]
         else:
             self._per_csr = per_graph
 
@@ -549,7 +584,7 @@ class ArmadaSimulator:
 
     @property
     def backend(self) -> str:
-        """The resolved backend, ``"dense"`` or ``"sparse"``."""
+        """The resolved backend: ``"dense"``, ``"sparse"`` or ``"bitboard"``."""
         return self._backend
 
     def _expand(self, rows_sel: np.ndarray, cols_sel: np.ndarray,
@@ -625,6 +660,16 @@ class ArmadaSimulator:
         rows = flags.shape[0]
         if n == 0:
             return np.zeros((rows, 0), dtype=bool)
+        if self._backend == "bitboard":
+            if out is None:
+                out = np.empty((rows, n), dtype=bool)
+            offset = 0
+            for g, size in enumerate(sizes):
+                out[offset:offset + size] = self._kernels[g].neighbor_or(
+                    flags[offset:offset + size]
+                )
+                offset += size
+            return out
         if self._backend == "dense":
             staged, equal = self._stage_f32(flags, sizes)
             width = max(sizes)
@@ -691,6 +736,8 @@ class ArmadaSimulator:
                 staged = self._flags32[: sub.shape[0]]
                 np.copyto(staged, sub)
                 block_counts = (staged @ self._adjacency[g]).astype(np.int64)
+            elif self._backend == "bitboard":
+                block_counts = self._kernels[g].neighbor_counts(sub)
             else:
                 columns, starts, isolated = self._per_csr[g]
                 block_counts = csr_row_counts(sub, columns, starts, isolated)

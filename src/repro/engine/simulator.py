@@ -75,13 +75,14 @@ def faulty_observation(
     """The noisy ``heard`` booleans from beeping-neighbour counts.
 
     Elementwise over any shape: the per-trial engines pass length-n
-    vectors, the fleet engine ``(trials, n)`` matrices.  A listener with
-    ``k`` beeping neighbours hears iff its loss uniform falls below
-    ``1 - loss**k`` (at least one of ``k`` independent deliveries
-    survives), then spurious uniforms add phantom beeps.  Every engine
-    funnels through this one function so the collapsed-probability
-    arithmetic — and therefore the bit-reproducibility contract — cannot
-    drift between them.
+    vectors, the fleet engine ``(trials, n)`` matrices, and the bitboard
+    engine (:mod:`repro.engine.bitboard`) its popcount-derived counts on
+    the compacted live rows.  A listener with ``k`` beeping neighbours
+    hears iff its loss uniform falls below ``1 - loss**k`` (at least one
+    of ``k`` independent deliveries survives), then spurious uniforms
+    add phantom beeps.  Every engine funnels through this one function
+    so the collapsed-probability arithmetic — and therefore the
+    bit-reproducibility contract — cannot drift between them.
     """
     counts = counts.astype(np.int64, copy=False)
     heard = counts > 0

@@ -201,6 +201,7 @@ def run_fleet_trials(
     trial_range: Optional[Tuple[int, int]] = None,
     faults: FaultModel = NO_FAULTS,
     rng_mode: str = "counter",
+    backend: str = "auto",
 ) -> List[TrialOutcome]:
     """Run ``trials`` trials on the trial-parallel fleet engine.
 
@@ -221,6 +222,12 @@ def run_fleet_trials(
     its golden-trace-pinned byte streams.  Either way, group ``g`` /
     trial ``t`` is bit-identical to the corresponding lone fleet (and
     per-trial engine) run in that mode.
+
+    ``backend`` picks the probability engines' neighbour-reduction
+    kernel (``"auto"``, ``"dense"``, ``"sparse"`` or ``"bitboard"``) for
+    both the armada and the per-graph fleet path — pure execution
+    strategy, bit-identical rows either way.  The message/application
+    engines resolve their own backends and ignore it.
 
     ``trial_range=(lo, hi)`` executes only the global trials ``lo .. hi-1``.
     The graph grouping is always computed from the *full* ``(trials,
@@ -361,7 +368,7 @@ def run_fleet_trials(
         return outcomes
     if rng_mode == "counter" and len(drawn) >= 1 and same_n:
         # The armada path: every group of the window in one batch.
-        armada = ArmadaSimulator(drawn, max_rounds=max_rounds)
+        armada = ArmadaSimulator(drawn, max_rounds=max_rounds, backend=backend)
         runs = armada.run_armada(
             rule_factory(),
             [group_seeds(*group) for group in selected],
@@ -376,7 +383,7 @@ def run_fleet_trials(
     # Stream mode (or counter with heterogeneous vertex counts, which the
     # block-diagonal stack cannot express): one fleet batch per graph.
     for (graph_index, group_lo, group_hi), graph in zip(selected, drawn):
-        simulator = FleetSimulator(graph, max_rounds=max_rounds)
+        simulator = FleetSimulator(graph, max_rounds=max_rounds, backend=backend)
         run = simulator.run_fleet(
             rule_factory(),
             group_seeds(graph_index, group_lo, group_hi),

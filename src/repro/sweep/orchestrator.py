@@ -150,6 +150,7 @@ def execute_shard(shard: ShardSpec) -> List[TrialOutcome]:
         trial_range=window,
         faults=cell.fault_model(),
         rng_mode=cell.rng_mode,
+        backend=cell.backend,
     )
 
 

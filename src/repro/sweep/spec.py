@@ -27,7 +27,9 @@ What goes into the hash
 
 Deliberately **not** in the hash: job count, shard width of *other*
 shards, store paths, timestamps, ``validate`` (it can only raise, never
-alter a row) — anything that cannot change the rows.
+alter a row), ``backend`` (dense, sparse and bitboard kernels compute
+identical rows — the conformance suite enforces it, so a warm cache is
+shared across backends) — anything that cannot change the rows.
 """
 
 from __future__ import annotations
@@ -58,6 +60,11 @@ SPEC_FORMAT_VERSION = 2
 
 ENGINES = ("fleet", "reference")
 FAMILIES = ("gnp", "grid")
+
+#: Fleet neighbour-reduction kernels a cell may request
+#: (:class:`~repro.engine.fleet.FleetSimulator` backends).  The
+#: reference engine ignores the field.
+BACKENDS = ("auto", "dense", "sparse", "bitboard")
 
 #: Rules the fleet engines can run by name: the trial-parallel beeping
 #: probability rules, the message-passing kernels, and the MIS
@@ -138,10 +145,19 @@ class CellSpec:
     crashes: Tuple[Tuple[int, int], ...] = ()
     validate: bool = True
     max_rounds: int = 100_000
+    #: Fleet neighbour-reduction kernel (``auto``/``dense``/``sparse``/
+    #: ``bitboard``).  Pure execution strategy: all backends compute
+    #: bit-identical rows, so — like ``validate`` — it is excluded from
+    #: the execution fingerprint and a warm cache serves every backend.
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
         if self.rng_mode not in RNG_MODES:
             raise ValueError(
                 f"rng_mode must be one of {RNG_MODES}, got {self.rng_mode!r}"
@@ -271,6 +287,7 @@ class CellSpec:
             "crashes": [list(pair) for pair in self.crashes],
             "validate": self.validate,
             "max_rounds": self.max_rounds,
+            "backend": self.backend,
         }
 
     @staticmethod

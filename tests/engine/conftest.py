@@ -5,7 +5,8 @@ family x every rule".  This conftest centralises that matrix:
 
 - :func:`engine_run` executes one seeded trial on any engine by id and
   returns the common :class:`~repro.engine.simulator.EngineRun`;
-- ``engine_id`` parametrises a test over all four fast engines;
+- ``engine_id`` parametrises a test over all five fast engines (the
+  fleet engine counts once per backend: dense, sparse, bitboard);
 - ``conformance_graph`` parametrises over the graph families the engines
   must agree on (dense/sparse random, grid, geometric, star, isolated
   vertices).
@@ -33,7 +34,9 @@ from repro.graphs.graph import Graph
 from repro.graphs.random_graphs import gnp_random_graph, random_geometric_graph
 from repro.graphs.structured import empty_graph, grid_graph, star_graph
 
-ENGINE_IDS = ("dense", "sparse", "fleet-dense", "fleet-sparse")
+ENGINE_IDS = (
+    "dense", "sparse", "fleet-dense", "fleet-sparse", "fleet-bitboard",
+)
 
 RULE_FACTORIES = {
     "feedback": FeedbackRule,
@@ -69,7 +72,7 @@ def engine_run(
             rule_factory(), seed, validate=validate, faults=faults,
             rng_mode=rng_mode,
         )
-    if engine_id in ("fleet-dense", "fleet-sparse"):
+    if engine_id.startswith("fleet-"):
         backend = engine_id.split("-", 1)[1]
         simulator = FleetSimulator(graph, max_rounds=max_rounds, backend=backend)
         return simulator.run_fleet(

@@ -1,7 +1,8 @@
 """Cross-engine conformance: all fast engines are one engine, observably.
 
 On a shared per-trial seed *and rng mode*, the dense, sparse and fleet
-(both backends) engines must agree **bit for bit** — same round count,
+(dense, sparse and bitboard backends) engines must agree **bit for bit**
+— same round count,
 same MIS, same per-node beep counts — because they draw the identical
 uniforms and compute the identical ``heard`` booleans.  In ``"stream"``
 mode that hinges on a shared sequential draw order (beep uniforms, loss
@@ -47,8 +48,8 @@ MASTER_SEED = 0xC04F
 
 
 class TestBitEquality:
-    """Dense == sparse == fleet-dense == fleet-sparse, bit for bit,
-    within each rng mode."""
+    """Dense == sparse == fleet-dense == fleet-sparse == fleet-bitboard,
+    bit for bit, within each rng mode."""
 
     @pytest.mark.parametrize("rule_name", RULE_NAMES)
     def test_all_engines_agree_exactly(
@@ -308,10 +309,10 @@ class TestArmadaConformance:
     counter-mode fleet runs it replaces."""
 
     @pytest.mark.parametrize("rule_name", ("feedback", "afek-sweep"))
-    @pytest.mark.parametrize("backend", ("dense", "sparse"))
+    @pytest.mark.parametrize("backend", ("dense", "sparse", "bitboard"))
     @pytest.mark.parametrize(
-        "fault_id", (None, "loss+spurious", "all-three"),
-        ids=("fault-free", "loss+spurious", "all-three"),
+        "fault_id", (None, "crashes", "loss+spurious", "all-three"),
+        ids=("fault-free", "crashes", "loss+spurious", "all-three"),
     )
     def test_armada_matches_per_graph_fleet(self, backend, fault_id, rule_name):
         from repro.beeping.rng import derive_seed_block
@@ -361,13 +362,14 @@ class TestArmadaConformance:
         dense = ArmadaSimulator(graphs, backend="dense").run_armada(
             FeedbackRule(), seed_rows, validate=True
         )
-        sparse = ArmadaSimulator(graphs, backend="sparse").run_armada(
-            FeedbackRule(), seed_rows, validate=True
-        )
-        for d, s in zip(dense, sparse):
-            assert np.array_equal(d.rounds, s.rounds)
-            assert np.array_equal(d.membership, s.membership)
-            assert np.array_equal(d.beeps_by_node, s.beeps_by_node)
+        for backend in ("sparse", "bitboard"):
+            other = ArmadaSimulator(graphs, backend=backend).run_armada(
+                FeedbackRule(), seed_rows, validate=True
+            )
+            for d, o in zip(dense, other):
+                assert np.array_equal(d.rounds, o.rounds), backend
+                assert np.array_equal(d.membership, o.membership), backend
+                assert np.array_equal(d.beeps_by_node, o.beeps_by_node), backend
 
 
 @settings(max_examples=40, deadline=None, derandomize=True)

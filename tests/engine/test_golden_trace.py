@@ -73,6 +73,27 @@ def test_golden_round_by_round_trace():
         assert observed == expected_rows, f"trial {trial} trace drifted"
 
 
+def test_golden_trace_holds_for_bitboard_backend():
+    """Replaying the pre-bitboard golden literals on the bitboard backend:
+    packing the state into uint64 lanes must not shift a single byte of
+    the recorded stream-mode trace."""
+    graph = gnp_random_graph(8, 0.4, Random(GRAPH_SEED))
+    seeds = derive_seed_block(MASTER_SEED, 0, count=2)
+    run = FleetSimulator(graph, backend="bitboard").run_fleet(
+        FeedbackRule(), seeds, validate=True, record_beeps=True
+    )
+    assert run.rounds.tolist() == GOLDEN_ROUNDS
+    assert [sorted(run.mis_set(t)) for t in range(2)] == GOLDEN_MIS
+    assert run.beeps_by_node.tolist() == GOLDEN_BEEPS
+    history = run.beep_history
+    for trial, expected_rows in GOLDEN_TRACE.items():
+        observed = [
+            "".join("1" if beeped else "0" for beeped in history[r, trial])
+            for r in range(int(run.rounds[trial]))
+        ]
+        assert observed == expected_rows, f"trial {trial} trace drifted"
+
+
 def test_golden_trace_holds_for_per_trial_engines():
     """The same seeds through the per-trial batch loop give the same runs."""
     from repro.beeping.rng import derive_seed

@@ -224,6 +224,45 @@ class TestStoreResume:
         assert result.rows(FLEET_CELL) == fleet_oracle(FLEET_CELL)
 
 
+class TestBackendTransparency:
+    """The backend field is pure execution strategy: identical rows,
+    shared cache entries (it is excluded from the shard hash)."""
+
+    BITBOARD_CELL = CellSpec(**{**FLEET_CELL.to_dict(), "backend": "bitboard"})
+
+    def test_fresh_bitboard_sweep_matches_dense_rows(self):
+        dense = run_sweep(SweepSpec((FLEET_CELL,), shard_trials=4))
+        bitboard = run_sweep(SweepSpec((self.BITBOARD_CELL,), shard_trials=4))
+        assert bitboard.report.shards_executed == bitboard.report.shards_total
+        assert bitboard.rows(self.BITBOARD_CELL) == dense.rows(FLEET_CELL)
+        assert bitboard.rows(self.BITBOARD_CELL) == fleet_oracle(FLEET_CELL)
+
+    def test_warm_dense_cache_serves_bitboard_rerun(self, tmp_path):
+        """Rerunning a dense-cached sweep on the bitboard backend is a
+        100% cache hit with byte-identical rows — the spec-key stability
+        half of the golden-replay satellite."""
+        store = ResultStore(tmp_path)
+        cold = run_sweep(SweepSpec((FLEET_CELL,), shard_trials=4), store=store)
+        assert cold.report.shards_executed == cold.report.shards_total
+        warm = run_sweep(
+            SweepSpec((self.BITBOARD_CELL,), shard_trials=4), store=store
+        )
+        assert warm.report.shards_executed == 0
+        assert warm.report.shards_cached == warm.report.shards_total
+        assert warm.rows(self.BITBOARD_CELL) == cold.rows(FLEET_CELL)
+
+    def test_warm_bitboard_cache_serves_dense_rerun(self, tmp_path):
+        """And the converse: rows computed by the bitboard kernels are
+        valid cache entries for every other backend."""
+        store = ResultStore(tmp_path)
+        cold = run_sweep(
+            SweepSpec((self.BITBOARD_CELL,), shard_trials=4), store=store
+        )
+        warm = run_sweep(SweepSpec((FLEET_CELL,), shard_trials=4), store=store)
+        assert warm.report.shards_executed == 0
+        assert warm.rows(FLEET_CELL) == cold.rows(self.BITBOARD_CELL)
+
+
 class TestValidation:
     def test_rejects_bad_jobs(self):
         with pytest.raises(ValueError, match="jobs"):

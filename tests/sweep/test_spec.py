@@ -45,6 +45,10 @@ class TestCellValidation:
         with pytest.raises(ValueError, match="engine"):
             fleet_cell(engine="gpu")
 
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            fleet_cell(backend="simd")
+
     def test_rejects_unknown_family(self):
         with pytest.raises(ValueError, match="family"):
             fleet_cell(family="torus")
@@ -128,6 +132,7 @@ class TestCellValidation:
         for cell in (
             fleet_cell(),
             fleet_cell(rng_mode="stream"),
+            fleet_cell(backend="bitboard"),
             reference_cell(beep_loss=0.1, crashes=((2, 5),)),
             fleet_cell(family="grid", rows=5, cols=5),
         ):
@@ -187,6 +192,14 @@ class TestShardHash:
         checked = ShardSpec(fleet_cell(validate=True), 0, 32).content_hash()
         unchecked = ShardSpec(fleet_cell(validate=False), 0, 32).content_hash()
         assert checked == unchecked
+
+    def test_backend_not_in_hash(self):
+        """The neighbour-reduction backend is pure execution strategy —
+        all backends compute bit-identical rows (the conformance suite
+        enforces it), so a warm cache must serve every backend."""
+        base = ShardSpec(fleet_cell(), 0, 32).content_hash()
+        for backend in ("dense", "sparse", "bitboard"):
+            assert ShardSpec(fleet_cell(backend=backend), 0, 32).content_hash() == base
 
     def test_window_in_hash(self):
         cell = fleet_cell()

@@ -82,6 +82,13 @@ def test_algorithm_gallery_covers_every_registry_algorithm():
     assert not missing, (
         f"docs/algorithms.md engine-coverage matrix misses: {missing}"
     )
+    header = next(
+        line for line in matrix[1].splitlines() if line.startswith("| algorithm")
+    )
+    for column in ("reference", "dense", "sparse", "fleet", "armada", "bitboard"):
+        assert f"| {column} |" in header, (
+            f"engine-coverage matrix lost its '{column}' column"
+        )
 
 
 @pytest.mark.parametrize(
