@@ -42,6 +42,17 @@ class MISRun:
         Total bits sent across all channels.
     simulation:
         The underlying :class:`SimulationResult` for beeping algorithms.
+    absent:
+        Universe vertices outside the final alive subgraph of a churn
+        run (departed, asleep at the end, or never joined); empty
+        otherwise.  Under churn, ``graph`` is the universe graph.
+    repair_rounds:
+        Per-churn-event repair times (``-1`` for events unresolved at
+        the round cap); empty without churn.
+    recovered:
+        ``False`` when the round budget interrupted an unfinished
+        churn repair (the run then degrades gracefully instead of
+        raising).
     extra:
         Algorithm-specific diagnostics.
     """
@@ -54,6 +65,9 @@ class MISRun:
     messages: int = 0
     bits: int = 0
     simulation: Optional[SimulationResult] = None
+    absent: Set[int] = field(default_factory=set)
+    repair_rounds: tuple = ()
+    recovered: bool = True
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -71,11 +85,36 @@ class MISRun:
     def verify(self) -> Set[int]:
         """Assert the output is a maximal independent set.
 
-        Runs with crashes verify through the underlying simulation (which
-        knows which vertices left the system); clean runs verify directly.
+        Runs with crashes or churn verify through the underlying
+        simulation when one exists (it knows which vertices left the
+        system); otherwise the crash/churn sets recorded on the run
+        drive :func:`verify_mis` directly.  Unrecovered runs skip
+        maximality (mid-repair output is a valid independent set of
+        the survivors, nothing more).
         """
-        if self.simulation is not None and self.simulation.crashed:
+        if self.simulation is not None and (
+            self.simulation.crashed
+            or self.simulation.absent
+            or not self.simulation.recovered
+        ):
             return self.simulation.verify()
+        if not self.recovered:
+            from repro.graphs.validation import independent_set_violations
+
+            violations = independent_set_violations(self.graph, self.mis)
+            if violations:
+                raise AssertionError(
+                    f"unrecovered run output is not independent: edge "
+                    f"{violations[0]} has both endpoints in the set"
+                )
+            return set(self.mis)
+        if self.absent:
+            crashed = (
+                self.simulation.crashed if self.simulation is not None else ()
+            )
+            return verify_mis(
+                self.graph, self.mis, crashed=crashed, absent=self.absent
+            )
         return verify_mis(self.graph, self.mis)
 
 

@@ -62,19 +62,22 @@ class FeedbackMIS(MISAlgorithm):
             max_rounds=max_rounds,
         )
         result = simulation.run()
+        # Under churn, result.graph is the universe graph (base plus
+        # joiners) and the metrics are universe-length.
+        message_bits = sum(
+            beeps * result.graph.degree(v)
+            for v, beeps in enumerate(result.metrics.beeps_by_node)
+        )
         return MISRun(
             algorithm=self.name,
-            graph=graph,
+            graph=result.graph,
             mis=result.mis,
             rounds=result.num_rounds,
             beeps_by_node=list(result.metrics.beeps_by_node),
-            messages=sum(
-                beeps * graph.degree(v)
-                for v, beeps in enumerate(result.metrics.beeps_by_node)
-            ),
-            bits=sum(
-                beeps * graph.degree(v)
-                for v, beeps in enumerate(result.metrics.beeps_by_node)
-            ),
+            messages=message_bits,
+            bits=message_bits,
             simulation=result,
+            absent=set(result.absent),
+            repair_rounds=result.repair_rounds,
+            recovered=result.recovered,
         )

@@ -64,17 +64,86 @@ class LubyMIS(MISAlgorithm):
         faults: FaultModel = NO_FAULTS,
         max_rounds: int = 100_000,
     ) -> MISRun:
-        active: Set[int] = set(graph.vertices())
+        # Luby's message-passing model has no beep channel, so the beep
+        # noise/crash knobs of ``faults`` are ignored — but churn is a
+        # topology fault and applies here too, under the same contract
+        # as the beeping engines: events land at round start, a
+        # deterministic resolution pass re-activates eligible uncovered
+        # survivors, and repair time counts executed rounds to the next
+        # quiescence (``docs/robustness.md``).
+        churn = faults.churn_schedule
+        has_churn = not churn.is_empty()
+        if has_churn:
+            graph = churn.universe_graph(graph)
+        joiners = (
+            {event.vertex for event in churn.join_events()}
+            if has_churn
+            else set()
+        )
+        present: Set[int] = set(graph.vertices()) - joiners
+        asleep: Set[int] = set()
+        active: Set[int] = set(present)
         mis: Set[int] = set()
+        event_rounds = churn.event_rounds() if has_churn else ()
+        last_event = churn.last_event_round if has_churn else -1
+        repair = [-1] * len(event_rounds)
+        recovered = True
         rounds = 0
         messages = 0
         bits = 0
         bits_per_value = max(1, math.ceil(math.log2(max(graph.num_vertices, 2))))
-        while active:
+
+        def record_quiescence(
+            executed_rounds: int, applied_rounds: int = -1
+        ) -> None:
+            # Same applied-batch guard as ChurnState.record_quiescence:
+            # the end-of-round checkpoint must not resolve an event whose
+            # batch has not landed yet.
+            if applied_rounds < 0:
+                applied_rounds = executed_rounds
+            for b, event_round in enumerate(event_rounds):
+                if event_round > applied_rounds:
+                    break
+                if repair[b] == -1:
+                    repair[b] = executed_rounds - event_round
+
+        while active or rounds <= last_event:
             if rounds >= max_rounds:
+                if has_churn:
+                    recovered = False
+                    break
                 raise RuntimeError(
                     f"Luby simulation exceeded {max_rounds} rounds"
                 )
+            if has_churn:
+                events = churn.events_at(rounds)
+                if any(events[kind] for kind in events):
+                    for v in events["leave"]:
+                        present.discard(v)
+                        asleep.discard(v)
+                        mis.discard(v)
+                        active.discard(v)
+                    for v in events["sleep"]:
+                        asleep.add(v)
+                        mis.discard(v)
+                        active.discard(v)
+                    for v in events["wake"]:
+                        asleep.discard(v)
+                    for v in events["join"]:
+                        present.add(v)
+                    # Resolution: eligible uncovered survivors re-enter
+                    # the competition; consumes no randomness.
+                    for v in graph.vertices():
+                        if (
+                            v in present
+                            and v not in asleep
+                            and v not in active
+                            and v not in mis
+                            and not any(w in mis for w in graph.neighbors(v))
+                        ):
+                            active.add(v)
+                    if not active:
+                        record_quiescence(rounds)
             if self._variant == "permutation":
                 joined = self._permutation_round(graph, active, rng)
             else:
@@ -95,6 +164,11 @@ class LubyMIS(MISAlgorithm):
                         removed.add(w)
             active -= removed
             rounds += 1
+            if has_churn and not active:
+                record_quiescence(rounds, applied_rounds=rounds - 1)
+        absent = (
+            (set(graph.vertices()) - present) | asleep if has_churn else set()
+        )
         return MISRun(
             algorithm=self.name,
             graph=graph,
@@ -102,6 +176,9 @@ class LubyMIS(MISAlgorithm):
             rounds=rounds,
             messages=messages,
             bits=bits,
+            absent=absent,
+            repair_rounds=tuple(repair),
+            recovered=recovered,
         )
 
     @staticmethod

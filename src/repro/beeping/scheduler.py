@@ -25,7 +25,7 @@ produce a non-independent or non-maximal output.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from random import Random
 from typing import Callable, Dict, List, Optional, Set
 
@@ -53,7 +53,15 @@ class TerminationError(RuntimeError):
 
 @dataclass
 class SimulationResult:
-    """The outcome of one completed simulation."""
+    """The outcome of one completed simulation.
+
+    Under churn, ``graph`` is the *universe* graph (base plus joiners),
+    ``absent`` the universe vertices outside the final alive subgraph
+    (departed, asleep at the end, or never joined), ``repair_rounds``
+    the per-event-round repair times (see ``docs/robustness.md``), and
+    ``recovered`` is ``False`` when the round budget interrupted an
+    unfinished repair.
+    """
 
     graph: Graph
     mis: Set[int]
@@ -61,6 +69,9 @@ class SimulationResult:
     metrics: SimulationMetrics
     trace: Optional[Trace]
     crashed: Set[int]
+    absent: Set[int] = field(default_factory=set)
+    repair_rounds: tuple = ()
+    recovered: bool = True
 
     @property
     def num_rounds(self) -> int:
@@ -89,20 +100,27 @@ class SimulationResult:
         """Assert the output is an MIS of the surviving graph.
 
         Independence must hold among MIS members; every surviving
-        (non-crashed) vertex must be in the MIS or adjacent to an MIS
-        member.  Crashed vertices are excluded from the maximality
-        requirement: they left the system.
+        (non-crashed, non-absent) vertex must be in the MIS or adjacent
+        to an MIS member.  Crashed and absent vertices are excluded from
+        the maximality requirement: they left the system.  A run the
+        round budget cut off mid-repair (``recovered=False``) skips the
+        maximality check — its output is still an independent set.
         """
+        exempt = self.crashed | self.absent
         for u in sorted(self.mis):
             if u in self.crashed:
                 raise MISValidationError(f"crashed vertex {u} is in the MIS")
+            if u in self.absent:
+                raise MISValidationError(f"absent vertex {u} is in the MIS")
             for w in self.graph.neighbors(u):
                 if w in self.mis:
                     raise MISValidationError(
                         f"set is not independent: edge ({u}, {w}) inside MIS"
                     )
+        if not self.recovered:
+            return set(self.mis)
         for v in self.graph.vertices():
-            if v in self.mis or v in self.crashed:
+            if v in self.mis or v in exempt:
                 continue
             if not any(w in self.mis for w in self.graph.neighbors(v)):
                 raise MISValidationError(
@@ -141,17 +159,34 @@ class BeepingSimulation:
     ) -> None:
         if max_rounds < 1:
             raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        self._churn = faults.churn_schedule
+        self._has_churn = not self._churn.is_empty()
+        if self._has_churn:
+            # Expand to the universe graph; joiners exist from round 0 as
+            # vertices but stay outside the system until their join round.
+            graph = self._churn.universe_graph(graph)
         self._graph = graph
         self._rng = rng
         self._channel = BeepChannel(graph, faults)
         self._faults = faults
         self._trace = trace
         self._max_rounds = max_rounds
+        self._node_factory = node_factory
         self._nodes: List[BeepingNode] = [
             node_factory(v) for v in graph.vertices()
         ]
         self._states: List[NodeState] = [NodeState.ACTIVE] * graph.num_vertices
         self._crashed: Set[int] = set()
+        self._departed: Set[int] = set()
+        self._asleep: Set[int] = set()
+        self._not_joined: Set[int] = {
+            event.vertex for event in self._churn.join_events()
+        }
+        for v in self._not_joined:
+            self._states[v] = NodeState.RETIRED
+        self._event_rounds = self._churn.event_rounds()
+        self._repair: List[int] = [-1] * len(self._event_rounds)
+        self._recovered = True
         self._metrics = SimulationMetrics(graph.num_vertices)
         self._round_index = 0
 
@@ -193,6 +228,8 @@ class BeepingSimulation:
     def step(self) -> RoundRecord:
         """Execute one round and return its aggregate record."""
         round_index = self._round_index
+        if self._has_churn:
+            self._apply_churn(round_index)
         self._apply_crashes(round_index)
         active = self.active_vertices()
         crashed_now = self._faults.crash_schedule.crashed_at(round_index)
@@ -266,7 +303,71 @@ class BeepingSimulation:
                 self._trace.append_retirement(round_index, w, retire_cause[w])
 
         self._round_index += 1
+        if self._has_churn and not self.active_vertices():
+            self._record_quiescence(
+                self._round_index, applied_rounds=self._round_index - 1
+            )
         return record
+
+    def _apply_churn(self, round_index: int) -> None:
+        """Apply one round's churn batch in the canonical order.
+
+        Leaves, then sleeps, then wakes, then joins, then one
+        deterministic resolution pass: entrants listen first (a covered
+        entrant retires on the spot), and every present, awake, retired,
+        uncovered survivor re-enters the competition with a fresh policy
+        object — the self-repair step.  The pass draws no randomness, so
+        it leaves the engines' one-draw-order contract untouched.
+        """
+        events = self._churn.events_at(round_index)
+        if not any(events.values()):
+            return
+        for v in events["leave"]:
+            self._states[v] = NodeState.RETIRED
+            self._departed.add(v)
+            self._asleep.discard(v)
+        for v in events["sleep"]:
+            self._states[v] = NodeState.RETIRED
+            self._asleep.add(v)
+        for v in events["wake"]:
+            self._asleep.discard(v)
+        for v in events["join"]:
+            self._not_joined.discard(v)
+        in_mis = {
+            v
+            for v in self._graph.vertices()
+            if self._states[v] is NodeState.IN_MIS
+        }
+        for v in self._graph.vertices():
+            if self._states[v] is not NodeState.RETIRED:
+                continue
+            if (
+                v in self._departed
+                or v in self._asleep
+                or v in self._not_joined
+                or v in self._crashed
+            ):
+                continue
+            if not any(w in in_mis for w in self._graph.neighbors(v)):
+                self._states[v] = NodeState.ACTIVE
+                self._nodes[v] = self._node_factory(v)
+        if not self.active_vertices():
+            self._record_quiescence(round_index)
+
+    def _record_quiescence(
+        self, executed_rounds: int, applied_rounds: int = -1
+    ) -> None:
+        # ``applied_rounds`` mirrors ChurnState.record_quiescence: the
+        # end-of-round checkpoint after round r has executed r + 1 rounds
+        # but must not resolve an event at round r + 1 whose batch has
+        # not been applied yet.
+        if applied_rounds < 0:
+            applied_rounds = executed_rounds
+        for b, event_round in enumerate(self._event_rounds):
+            if event_round > applied_rounds:
+                break
+            if self._repair[b] == -1:
+                self._repair[b] = executed_rounds - event_round
 
     def _apply_crashes(self, round_index: int) -> None:
         for v in self._faults.crash_schedule.crashed_at(round_index):
@@ -275,9 +376,19 @@ class BeepingSimulation:
                 self._crashed.add(v)
 
     def run(self) -> SimulationResult:
-        """Run rounds until termination and return the result."""
-        while not self.is_terminated:
+        """Run rounds until termination and return the result.
+
+        Under churn the loop also spans quiet gaps up to the last event
+        round (entrants can re-open the competition), and exceeding the
+        round budget degrades gracefully — ``recovered=False`` on the
+        result — instead of raising :class:`TerminationError`.
+        """
+        last_event = self._churn.last_event_round
+        while not self.is_terminated or self._round_index <= last_event:
             if self._round_index >= self._max_rounds:
+                if self._has_churn:
+                    self._recovered = False
+                    break
                 raise TerminationError(
                     f"simulation exceeded {self._max_rounds} rounds with "
                     f"{len(self.active_vertices())} vertices still active"
@@ -288,6 +399,7 @@ class BeepingSimulation:
             for v in self._graph.vertices()
             if self._states[v] is NodeState.IN_MIS
         }
+        absent = self._departed | self._asleep | self._not_joined
         return SimulationResult(
             graph=self._graph,
             mis=mis,
@@ -295,4 +407,7 @@ class BeepingSimulation:
             metrics=self._metrics,
             trace=self._trace,
             crashed=set(self._crashed),
+            absent=absent,
+            repair_rounds=tuple(self._repair),
+            recovered=self._recovered,
         )

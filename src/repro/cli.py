@@ -219,6 +219,11 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=2013)
     compare.add_argument("--shard-trials", type=int, default=32)
     compare.add_argument("--csv", action="store_true", help="emit CSV only")
+    compare.add_argument(
+        "--churn", nargs="*", default=[], metavar="EVENT",
+        help="churn events (leave:R:V sleep:R:V wake:R:V join:R:V:N1+N2) "
+             "applied to every cell; adds repair/recovered columns",
+    )
     _add_sweep_execution_arguments(compare)
 
     robust = sub.add_parser(
@@ -246,6 +251,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--crash", nargs="*", default=[], metavar="ROUND:VERTEX",
         help="fail-stop crashes applied to every grid cell",
     )
+    robust.add_argument(
+        "--churn", nargs="*", default=[], metavar="EVENT",
+        help="churn events (leave:R:V sleep:R:V wake:R:V join:R:V:N1+N2) "
+             "applied to every grid cell; adds repair/recovered columns",
+    )
     robust.add_argument("--trials", type=int, default=32)
     robust.add_argument(
         "--graphs", type=int, default=1,
@@ -253,7 +263,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     robust.add_argument(
         "--quantity",
-        choices=("rounds", "beeps", "mis-size", "messages", "bits"),
+        choices=(
+            "rounds", "beeps", "mis-size", "messages", "bits",
+            "repair", "recovered",
+        ),
         default="rounds",
     )
     robust.add_argument("--seed", type=int, default=1603)
@@ -482,21 +495,36 @@ def _command_compare(args: argparse.Namespace) -> int:
         comparison_experiment,
     )
 
-    result = comparison_experiment(
-        algorithms=(
-            tuple(args.algorithms) if args.algorithms else DEFAULT_ALGORITHMS
-        ),
-        families=tuple(args.families),
-        sizes=tuple(args.sizes),
-        edge_probability=args.edge_probability,
-        trials=args.trials,
-        graphs=args.graphs,
-        master_seed=args.seed,
-        shard_trials=args.shard_trials,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        engine=args.engine,
-    )
+    churn = _parse_churn_events(args.churn)
+    if args.algorithms:
+        algorithms = tuple(args.algorithms)
+    elif churn:
+        # The default panel includes fault-oblivious message kernels;
+        # under churn, compare the churn-honouring subset instead.
+        algorithms = (
+            "feedback", "afek-sweep", "luby-permutation", "luby-probability"
+        )
+    else:
+        algorithms = DEFAULT_ALGORITHMS
+    try:
+        result = comparison_experiment(
+            algorithms=algorithms,
+            families=tuple(args.families),
+            sizes=tuple(args.sizes),
+            edge_probability=args.edge_probability,
+            trials=args.trials,
+            graphs=args.graphs,
+            master_seed=args.seed,
+            shard_trials=args.shard_trials,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            engine=args.engine,
+            churn=churn,
+        )
+    except ValueError as exc:
+        # e.g. a churn-blind algorithm under --churn: a usage error, not
+        # a crash — exit argparse-style.
+        raise SystemExit(str(exc)) from None
     cache = args.cache_dir if args.cache_dir else "none"
     summary = f"# {result.report.summary()} cache={cache}"
     if args.csv:
@@ -516,24 +544,68 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_crash_pairs(entries: List[str]) -> List[tuple]:
-    """Parse ``ROUND:VERTEX`` CLI entries into ``(round, vertex)`` pairs."""
-    pairs = []
-    for entry in entries:
-        try:
-            round_text, vertex_text = entry.split(":", 1)
-            pairs.append((int(round_text), int(vertex_text)))
-        except ValueError:
-            raise SystemExit(
-                f"--crash entries must look like ROUND:VERTEX, got {entry!r}"
-            )
-    return pairs
+def _parse_crash_pairs(entries: List[str]) -> tuple:
+    """Parse ``--crash`` entries, mapping parse errors to a clean exit."""
+    from repro.beeping.faults import parse_crash_spec
+
+    try:
+        return parse_crash_spec(entries)
+    except ValueError as exc:
+        raise SystemExit(f"--crash: {exc}") from None
+
+
+def _parse_churn_events(entries: List[str]) -> tuple:
+    """Parse ``--churn`` entries, mapping parse errors to a clean exit."""
+    from repro.beeping.faults import parse_churn_spec
+
+    try:
+        return parse_churn_spec(entries)
+    except ValueError as exc:
+        raise SystemExit(f"--churn: {exc}") from None
+
+
+def _robustness_churn_csv(result) -> str:
+    """Robustness CSV with the churn repair columns appended."""
+    import csv as _csv
+    import io as _io
+
+    buffer = _io.StringIO()
+    writer = _csv.writer(buffer, lineterminator="\n")
+    writer.writerow(
+        ["series", "x", "mean", "std", "trials", "repair", "recovered"]
+    )
+    for point in result.points:
+        writer.writerow(
+            [
+                point.series, point.x, point.mean, point.std, point.trials,
+                point.extra.get("repair", 0.0),
+                point.extra.get("recovered", 1.0),
+            ]
+        )
+    return buffer.getvalue()
+
+
+def _robustness_churn_table(result) -> str:
+    """The per-cell self-repair summary table of a churned grid."""
+    from repro.experiments.tables import format_table
+
+    rows = [
+        [
+            p.series,
+            f"{p.x:g}",
+            f"{p.extra.get('repair', 0.0):.2f}",
+            f"{p.extra.get('recovered', 1.0):.2f}",
+        ]
+        for p in result.points
+    ]
+    return format_table(["series", "x", "repair", "recovered"], rows)
 
 
 def _command_robustness(args: argparse.Namespace) -> int:
     from repro.experiments.robustness import robustness_grid
 
     quantity = args.quantity.replace("-", "_")
+    churn = _parse_churn_events(args.churn)
     result, report = robustness_grid(
         algorithm=args.algorithm,
         engine=args.engine,
@@ -542,6 +614,7 @@ def _command_robustness(args: argparse.Namespace) -> int:
         loss_probabilities=args.loss,
         spurious_probabilities=args.spurious,
         crashes=_parse_crash_pairs(args.crash),
+        churn=churn,
         trials=args.trials,
         graphs=args.graphs,
         master_seed=args.seed,
@@ -554,11 +627,19 @@ def _command_robustness(args: argparse.Namespace) -> int:
     summary = f"# {report.summary()} cache={cache}"
     if args.csv:
         # Keep stdout pure CSV (byte-stable, parseable); report on stderr.
-        print(results_to_csv(result), end="")
+        csv_text = (
+            _robustness_churn_csv(result) if churn else results_to_csv(result)
+        )
+        print(csv_text, end="")
         if not args.quiet:
             print(summary, file=sys.stderr)
     else:
         print(format_experiment(result))
+        if churn:
+            print()
+            print("self-repair (mean rounds to re-quiescence, "
+                  "recovered fraction):")
+            print(_robustness_churn_table(result))
         print()
         print(
             plot_experiment(

@@ -54,7 +54,11 @@ from repro.beeping.rng import (
     stream_generators,
 )
 from repro.engine.rules import ProbabilityRule
-from repro.engine.simulator import DEFAULT_MAX_ROUNDS, faulty_observation
+from repro.engine.simulator import (
+    DEFAULT_MAX_ROUNDS,
+    ChurnState,
+    faulty_observation,
+)
 from repro.graphs.graph import Graph
 from repro.graphs.validation import verify_mis
 from repro.telemetry import probes
@@ -291,13 +295,25 @@ def run_bitboard_fleet(
     """
     from repro.engine.fleet import FleetRun
 
+    churn_schedule = faults.churn_schedule
+    has_churn = not churn_schedule.is_empty()
+    if has_churn:
+        # Repack on the universe graph (base + joiners) for this run;
+        # churn runs are niche, so per-run packing beats complicating
+        # the cached kernel.
+        graph = churn_schedule.universe_graph(graph)
+        kernel = BitboardKernel(graph)
     n = graph.num_vertices
     trials = len(seeds)
     loss = faults.beep_loss_probability
     spurious = faults.spurious_beep_probability
     noisy = loss > 0.0 or spurious > 0.0
     crash_masks = faults.crash_schedule.round_masks(n)
-    crashed = np.zeros((trials, n), dtype=bool) if crash_masks else None
+    crashed = (
+        np.zeros((trials, n), dtype=bool)
+        if crash_masks or has_churn
+        else None
+    )
     counter = rng_mode == "counter"
     if counter:
         live_seeds = seed_array(seeds).copy()
@@ -310,7 +326,19 @@ def run_bitboard_fleet(
     beeps = np.zeros((trials, n), dtype=np.int64)
     # Live (compacted) state: row i belongs to original trial orig[i].
     orig = np.arange(trials)
-    active = np.ones((trials, n), dtype=bool)
+    churn = (
+        ChurnState(churn_schedule, n, shape=(trials, n))
+        if has_churn
+        else None
+    )
+    last_event = churn.last_event_round if has_churn else -1
+    active = (
+        churn.initial_active()
+        if has_churn
+        else np.ones((trials, n), dtype=bool)
+    )
+    initial_row = rule.initial(n) if has_churn else None
+    recovered = np.ones(trials, dtype=bool) if has_churn else None
     probabilities = np.broadcast_to(
         rule.initial(n), (trials, n)
     ).astype(np.float64, copy=True)
@@ -324,18 +352,41 @@ def run_bitboard_fleet(
     round_index = 0
     telemetry_on = probes.enabled()
     active_cells = 0
-    # The frontier needs stateless point reads (counter mode) and whole
-    # tensors stay relevant under noise or beep recording.
-    frontier_ok = counter and not noisy and not record_beeps
+    # The frontier needs stateless point reads (counter mode), whole
+    # tensors stay relevant under noise or beep recording, and churn
+    # repairs need the full-width quiescence bookkeeping.
+    frontier_ok = (
+        counter and not noisy and not record_beeps and not has_churn
+    )
     frontier_limit = max(256, (trials * n) // 3)
+    capped = False
     # ---------------- compacted full-width phase ----------------
     while orig.size:
         if round_index >= max_rounds:
+            if has_churn:
+                # Graceful degradation: flag the trials still mid-repair
+                # instead of raising.
+                rounds[orig] = round_index
+                membership[orig] = member_live
+                beeps[orig] = beeps_live
+                recovered[orig] = False
+                capped = True
+                break
             raise RuntimeError(
                 f"fleet simulation exceeded {max_rounds} rounds"
             )
         if frontier_ok and np.count_nonzero(active) <= frontier_limit:
             break
+        if has_churn and churn.apply_events(
+            # Events all land at rounds <= last_event, before any
+            # compaction: every tensor is still full-width and row t is
+            # trial t.
+            round_index, active, member_live, crashed,
+            kernel.neighbor_or, probabilities, initial_row,
+        ):
+            quiet = np.zeros(trials, dtype=bool)
+            quiet[orig] = ~active.any(axis=1)
+            churn.record_quiescence(round_index, quiet)
         crash = crash_masks.get(round_index)
         if crash is not None:
             newly_crashed = active & crash
@@ -399,6 +450,16 @@ def run_bitboard_fleet(
             history.append(frame)
         round_index += 1
         still_alive = active.any(axis=1)
+        if has_churn:
+            quiet = np.zeros(trials, dtype=bool)
+            quiet[orig] = ~still_alive
+            churn.record_quiescence(
+                round_index, quiet, applied_rounds=round_index - 1
+            )
+            if round_index <= last_event:
+                # No trial retires before the last event: quiescent
+                # trials keep executing (and drawing) through the gaps.
+                still_alive = np.ones(orig.size, dtype=bool)
         if not still_alive.all():
             done = ~still_alive
             finished = orig[done]
@@ -413,7 +474,7 @@ def run_bitboard_fleet(
             if counter:
                 live_seeds = live_seeds[still_alive]
     # ---------------- counter frontier phase ----------------
-    if orig.size:
+    if orig.size and not capped:
         membership[orig] = member_live
         beeps[orig] = beeps_live
         live_count = orig.size
@@ -516,13 +577,26 @@ def run_bitboard_fleet(
             if record_beeps
             else None
         ),
-        crashed=crashed,
+        crashed=crashed if crash_masks else None,
+        absent=churn.absent_mask() if has_churn else None,
+        repair_rounds=churn.repair if has_churn else None,
+        recovered=recovered,
     )
     if telemetry_on:
         probes.count("engine.fleet.runs")
         probes.count("engine.fleet.rounds", round_index)
         probes.count("engine.fleet.trials", trials)
         probes.count("engine.backend.bitboard")
+        if has_churn:
+            probes.count(
+                "engine.churn.events",
+                trials * len(churn_schedule.events),
+            )
+            resolved = churn.repair[churn.repair >= 0]
+            if resolved.size:
+                probes.gauge(
+                    "engine.repair.rounds", float(resolved.mean())
+                )
         if round_index and trials and n:
             probes.gauge(
                 "engine.fleet.active_fraction",
@@ -530,9 +604,12 @@ def run_bitboard_fleet(
             )
     if validate:
         for trial in range(trials):
+            if not run.trial_recovered(trial):
+                continue
             verify_mis(
                 graph,
                 run.mis_set(trial),
                 crashed=run.crashed_set(trial),
+                absent=run.absent_set(trial),
             )
     return run

@@ -82,6 +82,7 @@ from repro.engine.bitboard import BitboardKernel, run_bitboard_fleet
 from repro.engine.rules import ProbabilityRule
 from repro.engine.simulator import (
     DEFAULT_MAX_ROUNDS,
+    ChurnState,
     EngineRun,
     check_rng_mode,
     faulty_observation,
@@ -115,6 +116,16 @@ class FleetRun:
     #: ``(trials, n)`` crash indicators; ``None`` when the fault model
     #: scheduled no crashes (the overwhelmingly common case).
     crashed: Optional[np.ndarray] = None
+    #: ``(trials, n)`` churn-absence indicators (departed, asleep at the
+    #: end, or never joined); ``None`` when the fault model scheduled no
+    #: churn.  The schedule is shared, so every row is identical.
+    absent: Optional[np.ndarray] = None
+    #: ``(trials, events)`` per-churn-event repair times (``-1`` for
+    #: events unresolved at the round cap); ``None`` without churn.
+    repair_rounds: Optional[np.ndarray] = None
+    #: ``(trials,)`` recovery flags: ``False`` for trials that hit the
+    #: round cap mid-repair; ``None`` without churn.
+    recovered: Optional[np.ndarray] = None
 
     @property
     def mean_beeps(self) -> np.ndarray:
@@ -133,6 +144,18 @@ class FleetRun:
             return set()
         return {int(v) for v in np.flatnonzero(self.crashed[trial])}
 
+    def absent_set(self, trial: int) -> Set[int]:
+        """The universe vertices absent at the end of one trial."""
+        if self.absent is None:
+            return set()
+        return {int(v) for v in np.flatnonzero(self.absent[trial])}
+
+    def trial_recovered(self, trial: int) -> bool:
+        """Whether one trial reached quiescence before the round cap."""
+        if self.recovered is None:
+            return True
+        return bool(self.recovered[trial])
+
     def trial_run(self, trial: int) -> EngineRun:
         """One trial's outcome in the per-trial engines' result type."""
         return EngineRun(
@@ -142,6 +165,13 @@ class FleetRun:
             mis=self.mis_set(trial),
             beeps_by_node=self.beeps_by_node[trial].copy(),
             crashed=self.crashed_set(trial),
+            absent=self.absent_set(trial),
+            repair_rounds=(
+                tuple(int(r) for r in self.repair_rounds[trial])
+                if self.repair_rounds is not None
+                else ()
+            ),
+            recovered=self.trial_recovered(trial),
         )
 
 
@@ -293,7 +323,8 @@ class FleetSimulator:
             )
         if self._backend == "bitboard":
             # The bitboard engine runs its own (live-row-compacted) loop;
-            # same draw order per mode, bit-identical results.
+            # same draw order per mode, bit-identical results.  It
+            # handles any churn universe rebuild itself.
             return run_bitboard_fleet(
                 self._kernel,
                 self._graph,
@@ -305,14 +336,44 @@ class FleetSimulator:
                 rng_mode=rng_mode,
                 max_rounds=self._max_rounds,
             )
+        churn_schedule = faults.churn_schedule
+        if churn_schedule.is_empty():
+            engine = self
+        else:
+            # Rebuild on the universe graph (base + joiners) for this
+            # run — churn runs are niche, so per-run construction beats
+            # complicating the cached structures.
+            engine = FleetSimulator(
+                churn_schedule.universe_graph(self._graph),
+                max_rounds=self._max_rounds,
+                backend=self._backend,
+            )
+        return engine._run_fleet(
+            rule, seeds, validate, record_beeps, faults, rng_mode
+        )
+
+    def _run_fleet(
+        self,
+        rule: ProbabilityRule,
+        seeds: Sequence[int],
+        validate: bool,
+        record_beeps: bool,
+        faults: FaultModel,
+        rng_mode: str,
+    ) -> FleetRun:
+        """The lockstep loop; ``self._graph`` is already the universe."""
         n = self._graph.num_vertices
         trials = len(seeds)
         loss = faults.beep_loss_probability
         spurious = faults.spurious_beep_probability
         noisy = loss > 0.0 or spurious > 0.0
+        churn_schedule = faults.churn_schedule
+        has_churn = not churn_schedule.is_empty()
         crash_masks: Dict[int, np.ndarray] = faults.crash_schedule.round_masks(n)
         crashed = (
-            np.zeros((trials, n), dtype=bool) if crash_masks else None
+            np.zeros((trials, n), dtype=bool)
+            if crash_masks or has_churn
+            else None
         )
         counter = rng_mode == "counter"
         if counter:
@@ -320,7 +381,19 @@ class FleetSimulator:
             generators = None
         else:
             generators = stream_generators(seeds)
-        active = np.ones((trials, n), dtype=bool)
+        churn = (
+            ChurnState(churn_schedule, n, shape=(trials, n))
+            if has_churn
+            else None
+        )
+        last_event = churn.last_event_round if has_churn else -1
+        active = (
+            churn.initial_active()
+            if has_churn
+            else np.ones((trials, n), dtype=bool)
+        )
+        initial_row = rule.initial(n) if has_churn else None
+        recovered = np.ones(trials, dtype=bool) if has_churn else None
         membership = np.zeros((trials, n), dtype=bool)
         probabilities = np.broadcast_to(
             rule.initial(n), (trials, n)
@@ -336,6 +409,12 @@ class FleetSimulator:
         )
         history = [] if record_beeps else None
         alive = active.any(axis=1)
+        if has_churn:
+            # Every trial shares the schedule, so none may retire before
+            # the last event: quiescent trials keep executing (and, in
+            # stream mode, drawing) through the quiet gaps, exactly like
+            # the per-trial loop's ``rounds <= last_event`` condition.
+            alive[:] = True
         round_index = 0
         # Telemetry is out of band: the flag is hoisted so disabled runs
         # pay one boolean check per round, and the active-cell tally (the
@@ -344,9 +423,21 @@ class FleetSimulator:
         active_cells = 0
         while alive.any():
             if round_index >= self._max_rounds:
+                if has_churn:
+                    # Graceful degradation: flag the trials still mid-
+                    # repair instead of raising, like the per-trial
+                    # engines.
+                    recovered = ~alive
+                    rounds[alive] = round_index
+                    break
                 raise RuntimeError(
                     f"fleet simulation exceeded {self._max_rounds} rounds"
                 )
+            if has_churn and churn.apply_events(
+                round_index, active, membership, crashed,
+                self._neighbor_or, probabilities, initial_row,
+            ):
+                churn.record_quiescence(round_index, ~active.any(axis=1))
             crash = crash_masks.get(round_index)
             if crash is not None:
                 # Fail-stop at the start of the round.  Finished trials
@@ -410,6 +501,12 @@ class FleetSimulator:
             if record_beeps:
                 history.append(beep.copy())
             still_alive = active.any(axis=1)
+            if has_churn:
+                churn.record_quiescence(
+                    round_index + 1, ~still_alive, applied_rounds=round_index
+                )
+                if round_index + 1 <= last_event:
+                    still_alive = np.ones(trials, dtype=bool)
             rounds[alive & ~still_alive] = round_index + 1
             alive = still_alive
             round_index += 1
@@ -425,13 +522,26 @@ class FleetSimulator:
                 if record_beeps
                 else None
             ),
-            crashed=crashed,
+            crashed=crashed if crash_masks else None,
+            absent=churn.absent_mask() if has_churn else None,
+            repair_rounds=churn.repair if has_churn else None,
+            recovered=recovered,
         )
         if telemetry_on:
             probes.count("engine.fleet.runs")
             probes.count("engine.fleet.rounds", round_index)
             probes.count("engine.fleet.trials", trials)
             probes.count(f"engine.backend.{self._backend}")
+            if has_churn:
+                probes.count(
+                    "engine.churn.events",
+                    trials * len(churn_schedule.events),
+                )
+                resolved = churn.repair[churn.repair >= 0]
+                if resolved.size:
+                    probes.gauge(
+                        "engine.repair.rounds", float(resolved.mean())
+                    )
             if round_index and trials and n:
                 probes.gauge(
                     "engine.fleet.active_fraction",
@@ -439,10 +549,13 @@ class FleetSimulator:
                 )
         if validate:
             for trial in range(trials):
+                if not run.trial_recovered(trial):
+                    continue
                 verify_mis(
                     self._graph,
                     run.mis_set(trial),
                     crashed=run.crashed_set(trial),
+                    absent=run.absent_set(trial),
                 )
         return run
 
@@ -772,6 +885,33 @@ class ArmadaSimulator:
                 f"rule {rule.name!r} is not trial-parallel; "
                 "use the per-trial loop instead"
             )
+        churn_schedule = faults.churn_schedule
+        if churn_schedule.is_empty():
+            engine = self
+        else:
+            # Rebuild on the universe graphs (base + joiners, one shared
+            # schedule so the stacked vertex counts stay equal) for this
+            # run; churn runs are niche, so per-run construction beats
+            # complicating the cached block-diagonal structures.
+            engine = ArmadaSimulator(
+                [
+                    churn_schedule.universe_graph(graph)
+                    for graph in self._graphs
+                ],
+                max_rounds=self._max_rounds,
+                backend=self._backend,
+                frontier_entries=self._frontier_entries,
+            )
+        return engine._run_armada(rule, seed_rows, validate, faults)
+
+    def _run_armada(
+        self,
+        rule: ProbabilityRule,
+        seed_rows: Sequence[Sequence[int]],
+        validate: bool,
+        faults: FaultModel,
+    ) -> List[FleetRun]:
+        """The block-diagonal loop; graphs are already the universes."""
         groups = [seed_array(row) for row in seed_rows]
         sizes = [int(group.size) for group in groups]
         if min(sizes) < 1:
@@ -786,11 +926,27 @@ class ArmadaSimulator:
         loss = faults.beep_loss_probability
         spurious = faults.spurious_beep_probability
         noisy = loss > 0.0 or spurious > 0.0
+        churn_schedule = faults.churn_schedule
+        has_churn = not churn_schedule.is_empty()
         crash_masks: Dict[int, np.ndarray] = faults.crash_schedule.round_masks(n)
         crashed = (
-            np.zeros((total, n), dtype=bool) if crash_masks else None
+            np.zeros((total, n), dtype=bool)
+            if crash_masks or has_churn
+            else None
         )
-        active = np.ones((total, n), dtype=bool)
+        churn = (
+            ChurnState(churn_schedule, n, shape=(total, n))
+            if has_churn
+            else None
+        )
+        last_event = churn.last_event_round if has_churn else -1
+        active = (
+            churn.initial_active()
+            if has_churn
+            else np.ones((total, n), dtype=bool)
+        )
+        initial_row = rule.initial(n) if has_churn else None
+        recovered = np.ones(total, dtype=bool) if has_churn else None
         membership = np.zeros((total, n), dtype=bool)
         probabilities = np.broadcast_to(
             rule.initial(n), (total, n)
@@ -811,10 +967,16 @@ class ArmadaSimulator:
         scratch = np.empty((total, n), dtype=bool)
         heard_buf = np.empty((total, n), dtype=bool)
         alive = active.any(axis=1)
+        if has_churn:
+            # No slot retires before the last event (shared schedule):
+            # quiescent slots keep executing through the quiet gaps like
+            # the per-trial loop's ``rounds <= last_event`` condition.
+            alive[:] = True
         frontier_limit = self._frontier_entries
         if frontier_limit is None:
             frontier_limit = max(256, (total * n) // 3)
         round_index = 0
+        capped = False
         # Out-of-band telemetry (hoisted flag; the only probe-side work,
         # the active-cell tally, runs only when probes are on).
         telemetry_on = probes.enabled()
@@ -822,11 +984,28 @@ class ArmadaSimulator:
         # ---------------- dense phase ----------------
         while alive.any():
             if round_index >= self._max_rounds:
+                if has_churn:
+                    # Graceful degradation: flag the slots still mid-
+                    # repair instead of raising.
+                    recovered = ~alive
+                    rounds[alive] = round_index
+                    capped = True
+                    break
                 raise RuntimeError(
                     f"armada simulation exceeded {self._max_rounds} rounds"
                 )
-            if not noisy and np.count_nonzero(active) <= frontier_limit:
+            if (
+                not noisy
+                and not has_churn
+                and np.count_nonzero(active) <= frontier_limit
+            ):
                 break  # hand the tail to the frontier
+            if has_churn and churn.apply_events(
+                round_index, active, membership, crashed,
+                lambda flags: self._dense_or(flags, sizes),
+                probabilities, initial_row,
+            ):
+                churn.record_quiescence(round_index, ~active.any(axis=1))
             crash = crash_masks.get(round_index)
             if crash is not None:
                 newly_crashed = active & crash
@@ -886,12 +1065,18 @@ class ArmadaSimulator:
             np.logical_not(joined, out=scratch)
             active &= scratch
             still_alive = active.any(axis=1)
+            if has_churn:
+                churn.record_quiescence(
+                    round_index + 1, ~still_alive, applied_rounds=round_index
+                )
+                if round_index + 1 <= last_event:
+                    still_alive = np.ones(total, dtype=bool)
             rounds[alive & ~still_alive] = round_index + 1
             alive = still_alive
             round_index += 1
         # ---------------- frontier phase ----------------
         dense_rounds = round_index
-        if alive.any():
+        if alive.any() and not capped:
             entry_rows, entry_cols = np.nonzero(active)
             entry_p = probabilities[entry_rows, entry_cols]
             if telemetry_on:
@@ -1047,11 +1232,22 @@ class ArmadaSimulator:
                 "engine.armada.frontier_rounds", round_index - dense_rounds
             )
             probes.count(f"engine.backend.{self._backend}")
+            if has_churn:
+                probes.count(
+                    "engine.churn.events",
+                    total * len(churn_schedule.events),
+                )
+                resolved = churn.repair[churn.repair >= 0]
+                if resolved.size:
+                    probes.gauge(
+                        "engine.repair.rounds", float(resolved.mean())
+                    )
             if round_index and total and n:
                 probes.gauge(
                     "engine.armada.active_fraction",
                     active_cells / (round_index * total * n),
                 )
+        absent = churn.absent_mask() if has_churn else None
         runs: List[FleetRun] = []
         offset = 0
         for g, size in enumerate(sizes):
@@ -1064,15 +1260,27 @@ class ArmadaSimulator:
                 membership=membership[block].copy(),
                 beeps_by_node=beeps[block].copy(),
                 crashed=(
-                    crashed[block].copy() if crashed is not None else None
+                    crashed[block].copy() if crash_masks else None
+                ),
+                absent=(
+                    absent[block].copy() if absent is not None else None
+                ),
+                repair_rounds=(
+                    churn.repair[block].copy() if has_churn else None
+                ),
+                recovered=(
+                    recovered[block].copy() if has_churn else None
                 ),
             )
             if validate:
                 for trial in range(size):
+                    if not run.trial_recovered(trial):
+                        continue
                     verify_mis(
                         self._graphs[g],
                         run.mis_set(trial),
                         crashed=run.crashed_set(trial),
+                        absent=run.absent_set(trial),
                     )
             runs.append(run)
             offset += size

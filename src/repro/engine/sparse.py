@@ -27,7 +27,13 @@ from repro.beeping.rng import (
     counter_uniforms,
 )
 from repro.engine.rules import ProbabilityRule
-from repro.engine.simulator import EngineRun, check_rng_mode, faulty_observation
+from repro.engine.simulator import (
+    ChurnState,
+    EngineRun,
+    absent_set,
+    check_rng_mode,
+    faulty_observation,
+)
 from repro.graphs.graph import Graph
 from repro.graphs.validation import verify_mis
 from repro.telemetry import probes
@@ -147,23 +153,59 @@ class SparseSimulator:
         uniform is a pure function of its counter, so order is moot).
         """
         check_rng_mode(rng_mode)
-        n = self._graph.num_vertices
+        churn_schedule = faults.churn_schedule
+        has_churn = not churn_schedule.is_empty()
+        graph = self._graph
+        columns, starts, isolated = self._columns, self._starts, self._isolated
+        if has_churn:
+            # Rebuild the CSR on the universe graph for this run — churn
+            # runs are niche, so per-run construction beats complicating
+            # the cached structures.
+            graph = churn_schedule.universe_graph(graph)
+            columns, starts, isolated = build_csr(graph)
+        n = graph.num_vertices
+
+        def neighbor_counts(flags: np.ndarray) -> np.ndarray:
+            if n == 0 or columns.size == 0:
+                return np.zeros(n, dtype=np.int64)
+            gathered = np.zeros(columns.size + 1, dtype=np.int64)
+            gathered[:-1] = flags[columns]
+            counts = np.add.reduceat(gathered, starts)
+            counts[isolated] = 0
+            return counts
+
+        def neighbor_or(flags: np.ndarray) -> np.ndarray:
+            return neighbor_counts(flags) > 0
+
         counter = rng_mode == "counter"
         rng = None if counter else np.random.default_rng(seed)
         loss = faults.beep_loss_probability
         spurious = faults.spurious_beep_probability
         crash_masks: Dict[int, np.ndarray] = faults.crash_schedule.round_masks(n)
         crashed = np.zeros(n, dtype=bool)
-        active = np.ones(n, dtype=bool)
         in_mis = np.zeros(n, dtype=bool)
         probabilities = rule.initial(n)
         beeps = np.zeros(n, dtype=np.int64)
+        churn = ChurnState(churn_schedule, n) if has_churn else None
+        last_event = churn.last_event_round if has_churn else -1
+        active = churn.initial_active() if has_churn else np.ones(n, dtype=bool)
+        initial_row = rule.initial(n) if has_churn else None
+        recovered = True
         rounds = 0
-        while active.any():
+        while active.any() or rounds <= last_event:
             if rounds >= self._max_rounds:
+                if has_churn:
+                    recovered = False
+                    break
                 raise RuntimeError(
                     f"sparse simulation exceeded {self._max_rounds} rounds"
                 )
+            if has_churn and churn.apply_events(
+                rounds, active, in_mis, crashed, neighbor_or,
+                probabilities, initial_row,
+            ):
+                if not active.any():
+                    churn.record_quiescence(rounds, True)
             crash = crash_masks.get(rounds)
             if crash is not None:
                 newly_crashed = active & crash
@@ -174,7 +216,7 @@ class SparseSimulator:
             else:
                 uniforms = rng.random(n)
             beep = active & (uniforms < probabilities)
-            counts = self._neighbor_counts(beep)
+            counts = neighbor_counts(beep)
             heard_true = counts > 0
             if loss > 0.0 or spurious > 0.0:
                 if counter:
@@ -202,17 +244,27 @@ class SparseSimulator:
             # Second exchange stays reliable: joins come from the true OR.
             joined = beep & ~heard_true
             in_mis |= joined
-            neighbor_joined = self._neighbor_or(joined)
+            neighbor_joined = neighbor_or(joined)
             beeps += beep
             active &= ~(joined | neighbor_joined)
             rounds += 1
+            if has_churn and not active.any():
+                churn.record_quiescence(rounds, True, applied_rounds=rounds - 1)
         mis: Set[int] = {int(v) for v in np.flatnonzero(in_mis)}
         crashed_set = {int(v) for v in np.flatnonzero(crashed)}
+        absent = absent_set(churn) if has_churn else set()
+        repair_rounds = (
+            tuple(int(r) for r in churn.repair) if has_churn else ()
+        )
         if probes.enabled():
             probes.count("engine.sparse.runs")
             probes.count("engine.sparse.rounds", rounds)
-        if validate:
-            verify_mis(self._graph, mis, crashed=crashed_set)
+            if has_churn:
+                probes.count(
+                    "engine.churn.events", len(churn_schedule.events)
+                )
+        if validate and recovered:
+            verify_mis(graph, mis, crashed=crashed_set, absent=absent)
         return EngineRun(
             rule_name=rule.name,
             num_vertices=n,
@@ -220,4 +272,7 @@ class SparseSimulator:
             mis=mis,
             beeps_by_node=beeps,
             crashed=crashed_set,
+            absent=absent,
+            repair_rounds=repair_rounds,
+            recovered=recovered,
         )

@@ -32,14 +32,21 @@ from __future__ import annotations
 import csv
 import io
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.beeping.rng import derive_seed
 from repro.experiments.records import ExperimentResult, SeriesPoint
 from repro.experiments.tables import format_table
 from repro.sweep.aggregate import outcome_value, summarize
 from repro.sweep.orchestrator import SweepReport, run_sweep
-from repro.sweep.spec import FLEET_RULES, CellSpec, SweepSpec
+from repro.sweep.spec import (
+    APPLICATION_FLEET_RULES,
+    CHURN_REFERENCE_ALGORITHMS,
+    FLEET_RULES,
+    MESSAGE_FLEET_RULES,
+    CellSpec,
+    SweepSpec,
+)
 from repro.sweep.store import PathLike
 
 #: The paper-facing default panel: the three beeping rules' fleet
@@ -72,27 +79,40 @@ class ComparisonResult:
     report: SweepReport
 
     def table(self) -> str:
-        """The paper-style rounds / bit-complexity comparison table."""
+        """The paper-style rounds / bit-complexity comparison table.
+
+        Under churn two extra columns appear — mean self-repair rounds
+        and the recovered fraction — turning the table into the
+        beeping-vs-Luby repair comparison; without churn the layout is
+        byte-identical to the fault-free one.
+        """
+        churned = any("repair" in point.extra for point in self.rounds.points)
         headers = [
             "algorithm", "n", "rounds", "std",
             "msgs/node", "bits/node", "bits/msg",
         ]
+        if churned:
+            headers += ["repair", "recovered"]
         rows = []
         for point in self.rounds.points:
             n = max(point.x, 1.0)
             messages = point.extra["messages"]
             bits = point.extra["bits"]
-            rows.append(
-                [
-                    point.series,
-                    f"{point.x:g}",
-                    f"{point.mean:.2f}",
-                    f"{point.std:.2f}",
-                    f"{messages / n:.1f}",
-                    f"{bits / n:.1f}",
-                    f"{point.extra['bits_per_message']:.2f}",
+            row = [
+                point.series,
+                f"{point.x:g}",
+                f"{point.mean:.2f}",
+                f"{point.std:.2f}",
+                f"{messages / n:.1f}",
+                f"{bits / n:.1f}",
+                f"{point.extra['bits_per_message']:.2f}",
+            ]
+            if churned:
+                row += [
+                    f"{point.extra.get('repair', 0.0):.2f}",
+                    f"{point.extra.get('recovered', 1.0):.2f}",
                 ]
-            )
+            rows.append(row)
         return format_table(headers, rows)
 
 
@@ -126,6 +146,7 @@ def comparison_experiment(
     cache_dir: Optional[PathLike] = None,
     max_rounds: int = 100_000,
     engine: str = "auto",
+    churn: Sequence[Tuple[Any, ...]] = (),
 ) -> ComparisonResult:
     """Sweep algorithms × workloads × sizes and summarise both axes.
 
@@ -138,6 +159,16 @@ def comparison_experiment(
     the engine allows it.  Results flow through the sharded orchestrator:
     pass ``cache_dir`` to make regeneration free and extension
     incremental.
+
+    ``churn`` applies one :func:`~repro.beeping.faults.ChurnSchedule`
+    (``to_tuples``-shaped events) to every cell, turning the grid into
+    the beeping-vs-Luby self-repair comparison: every ``rounds`` point
+    gains ``repair`` / ``recovered`` extras and the table two matching
+    columns.  Only churn-honouring algorithms are allowed then — beep
+    rules on the fleet fabric, plus the reference implementations in
+    :data:`~repro.sweep.spec.CHURN_REFERENCE_ALGORITHMS` (the message
+    kernels reject faults, so ``auto`` routes e.g. ``luby-permutation``
+    to the reference engine under churn).
     """
     if not algorithms:
         raise ValueError("need at least one algorithm")
@@ -147,6 +178,20 @@ def comparison_experiment(
         raise ValueError(
             f"engine must be 'auto', 'fleet' or 'reference', got {engine!r}"
         )
+    churn = tuple(tuple(event) for event in churn)
+    if churn:
+        for algorithm in algorithms:
+            beep_fleet = (
+                algorithm in FLEET_RULES
+                and algorithm not in MESSAGE_FLEET_RULES
+                and algorithm not in APPLICATION_FLEET_RULES
+            )
+            if not beep_fleet and algorithm not in CHURN_REFERENCE_ALGORITHMS:
+                raise ValueError(
+                    f"algorithm {algorithm!r} ignores churn schedules; "
+                    "churn comparisons support beep fleet rules and "
+                    f"{sorted(CHURN_REFERENCE_ALGORITHMS)}"
+                )
     for family in families:
         if family not in _FAMILIES:
             raise ValueError(
@@ -168,9 +213,15 @@ def comparison_experiment(
             for algorithm in algorithms:
                 cell_engine = engine
                 if engine == "auto":
-                    cell_engine = (
-                        "fleet" if algorithm in FLEET_RULES else "reference"
-                    )
+                    fleet_capable = algorithm in FLEET_RULES
+                    if churn and (
+                        algorithm in MESSAGE_FLEET_RULES
+                        or algorithm in APPLICATION_FLEET_RULES
+                    ):
+                        # Message/application kernels reject faults; their
+                        # churn comparison runs on the reference engine.
+                        fleet_capable = False
+                    cell_engine = "fleet" if fleet_capable else "reference"
                 label = (
                     f"{algorithm}/{family}" if multi_family else algorithm
                 )
@@ -184,6 +235,7 @@ def comparison_experiment(
                             graphs=graphs,
                             master_seed=seed,
                             max_rounds=max_rounds,
+                            churn=churn,
                             **workload,
                         ),
                     )
@@ -208,6 +260,20 @@ def comparison_experiment(
         mean_bpn, std_bpn = summarize(
             [outcome_value(row, "bits") / n for row in rows]
         )
+        extra = {
+            "messages": mean_messages,
+            "bits": mean_bits,
+            "bits_per_message": (
+                mean_bits / mean_messages if mean_messages else 0.0
+            ),
+        }
+        if churn:
+            repairs = [outcome_value(row, "repair") for row in rows]
+            recovered = [outcome_value(row, "recovered") for row in rows]
+            extra["repair"] = sum(repairs) / len(repairs) if repairs else 0.0
+            extra["recovered"] = (
+                sum(recovered) / len(recovered) if recovered else 1.0
+            )
         rounds_points.append(
             SeriesPoint(
                 series=label,
@@ -215,13 +281,7 @@ def comparison_experiment(
                 mean=mean_rounds,
                 std=std_rounds,
                 trials=len(rows),
-                extra={
-                    "messages": mean_messages,
-                    "bits": mean_bits,
-                    "bits_per_message": (
-                        mean_bits / mean_messages if mean_messages else 0.0
-                    ),
-                },
+                extra=extra,
             )
         )
         bits_points.append(
@@ -241,6 +301,7 @@ def comparison_experiment(
         "trials": trials,
         "graphs": graphs,
         "engine": engine,
+        "churn": [list(event) for event in churn],
     }
     return ComparisonResult(
         rounds=ExperimentResult(

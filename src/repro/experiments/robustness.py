@@ -19,10 +19,10 @@ the injected faults differ.  ``repro robustness`` is the CLI front-end.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 from repro.experiments.records import ExperimentResult
-from repro.sweep.aggregate import cell_point
+from repro.sweep.aggregate import cell_point, outcome_value
 from repro.sweep.orchestrator import SweepReport, run_sweep
 from repro.sweep.spec import CellSpec, SweepSpec
 from repro.sweep.store import PathLike
@@ -36,6 +36,7 @@ def robustness_grid(
     loss_probabilities: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
     spurious_probabilities: Sequence[float] = (0.0, 0.05, 0.1),
     crashes: Sequence[Tuple[int, int]] = (),
+    churn: Sequence[Tuple[Any, ...]] = (),
     trials: int = 32,
     graphs: int = 1,
     master_seed: int = 1603,
@@ -49,8 +50,12 @@ def robustness_grid(
 
     One series per beep-loss level, with the spurious-beep probability on
     the x-axis — the natural "rounds degrade gracefully with noise"
-    figure.  ``crashes`` (``(round, vertex)`` pairs) apply to *every*
-    cell, so the grid can also be run entirely under a crash schedule.
+    figure.  ``crashes`` (``(round, vertex)`` pairs) and ``churn``
+    (:func:`~repro.beeping.faults.ChurnSchedule.to_tuples`-shaped events)
+    apply to *every* cell, so the grid can also be run entirely under a
+    crash or churn schedule; with churn the per-cell points additionally
+    carry ``repair`` (mean self-repair rounds over resolved events) and
+    ``recovered`` (fraction of trials that reconverged) in their extras.
     Returns the summarised :class:`ExperimentResult` plus the orchestrator
     report (total/executed/cached shard counts).
     """
@@ -72,22 +77,33 @@ def robustness_grid(
                     beep_loss=loss,
                     spurious_beep=spurious,
                     crashes=tuple(crashes),
+                    churn=tuple(churn),
                     max_rounds=max_rounds,
                 )
             )
     spec = SweepSpec(tuple(cells), shard_trials=shard_trials)
     sweep = run_sweep(spec, store=cache_dir, jobs=jobs)
-    points = [
-        cell_point(
-            cell,
-            sweep.rows(cell),
-            quantity,
-            series=f"loss={cell.beep_loss}",
-            x=cell.spurious_beep,
-            extra={"loss": cell.beep_loss, "spurious": cell.spurious_beep},
+    points = []
+    for cell in cells:
+        rows = sweep.rows(cell)
+        extra = {"loss": cell.beep_loss, "spurious": cell.spurious_beep}
+        if cell.churn:
+            repairs = [outcome_value(row, "repair") for row in rows]
+            recovered = [outcome_value(row, "recovered") for row in rows]
+            extra["repair"] = sum(repairs) / len(repairs) if repairs else 0.0
+            extra["recovered"] = (
+                sum(recovered) / len(recovered) if recovered else 1.0
+            )
+        points.append(
+            cell_point(
+                cell,
+                rows,
+                quantity,
+                series=f"loss={cell.beep_loss}",
+                x=cell.spurious_beep,
+                extra=extra,
+            )
         )
-        for cell in cells
-    ]
     result = ExperimentResult(
         experiment="robustness",
         points=points,
@@ -100,6 +116,7 @@ def robustness_grid(
             "loss_probabilities": list(loss_probabilities),
             "spurious_probabilities": list(spurious_probabilities),
             "crashes": [list(pair) for pair in crashes],
+            "churn": [list(event) for event in churn],
             "trials": trials,
             "graphs": graphs,
             "quantity": quantity,

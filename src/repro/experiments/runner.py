@@ -42,7 +42,13 @@ AlgorithmFactory = Callable[[], MISAlgorithm]
 
 @dataclass(frozen=True)
 class TrialOutcome:
-    """The metrics of one trial (the full MISRun is dropped to save memory)."""
+    """The metrics of one trial (the full MISRun is dropped to save memory).
+
+    ``repair_rounds`` and ``recovered`` are churn self-repair metrics
+    (``docs/robustness.md``); the defaults make fault-free and
+    crash-only rows — including every row cached before the churn axis
+    existed — identical to their pre-churn form.
+    """
 
     trial: int
     rounds: int
@@ -50,6 +56,8 @@ class TrialOutcome:
     mean_beeps_per_node: float
     messages: int
     bits: int
+    repair_rounds: Tuple[int, ...] = ()
+    recovered: bool = True
 
 
 def _resolve_trial_range(
@@ -108,6 +116,8 @@ def run_trials(
                 mean_beeps_per_node=run.mean_beeps_per_node,
                 messages=run.messages,
                 bits=run.bits,
+                repair_rounds=tuple(run.repair_rounds),
+                recovered=run.recovered,
             )
         )
     return outcomes
@@ -145,7 +155,8 @@ def _emit_fleet_outcomes(
     """Append one group's :class:`TrialOutcome` rows from a FleetRun.
 
     Beep accounting mirrors the reference engine's: a beep is one 1-bit
-    message per incident channel.
+    message per incident channel.  ``graph`` must match the run's width
+    — the universe graph for churn runs.
     """
     degrees = np.array(graph.degrees(), dtype=np.int64)
     for t in range(run.trials):
@@ -158,6 +169,12 @@ def _emit_fleet_outcomes(
                 mean_beeps_per_node=float(run.mean_beeps[t]),
                 messages=channel_bits,
                 bits=channel_bits,
+                repair_rounds=(
+                    tuple(int(r) for r in run.repair_rounds[t])
+                    if run.repair_rounds is not None
+                    else ()
+                ),
+                recovered=run.trial_recovered(t),
             )
         )
 
@@ -366,6 +383,14 @@ def run_fleet_trials(
                 outcomes, run, rule, simulator.host, group_lo
             )
         return outcomes
+    # Beep/channel accounting must match the run's width: under churn
+    # the engines run (and report) on the universe graph.
+    if faults.churn_schedule.is_empty():
+        emit_graphs = drawn
+    else:
+        emit_graphs = [
+            faults.churn_schedule.universe_graph(graph) for graph in drawn
+        ]
     if rng_mode == "counter" and len(drawn) >= 1 and same_n:
         # The armada path: every group of the window in one batch.
         armada = ArmadaSimulator(drawn, max_rounds=max_rounds, backend=backend)
@@ -376,13 +401,15 @@ def run_fleet_trials(
             faults=faults,
         )
         for (graph_index, group_lo, group_hi), graph, run in zip(
-            selected, drawn, runs
+            selected, emit_graphs, runs
         ):
             _emit_fleet_outcomes(outcomes, run, graph, group_lo)
         return outcomes
     # Stream mode (or counter with heterogeneous vertex counts, which the
     # block-diagonal stack cannot express): one fleet batch per graph.
-    for (graph_index, group_lo, group_hi), graph in zip(selected, drawn):
+    for (graph_index, group_lo, group_hi), graph, emit_graph in zip(
+        selected, drawn, emit_graphs
+    ):
         simulator = FleetSimulator(graph, max_rounds=max_rounds, backend=backend)
         run = simulator.run_fleet(
             rule_factory(),
@@ -391,5 +418,5 @@ def run_fleet_trials(
             faults=faults,
             rng_mode=rng_mode,
         )
-        _emit_fleet_outcomes(outcomes, run, graph, group_lo)
+        _emit_fleet_outcomes(outcomes, run, emit_graph, group_lo)
     return outcomes

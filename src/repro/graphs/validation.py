@@ -75,6 +75,7 @@ def verify_mis(
     graph: Graph,
     vertices: Iterable[int],
     crashed: Iterable[int] = (),
+    absent: Iterable[int] = (),
 ) -> Set[int]:
     """Assert that ``vertices`` is an MIS of ``graph`` and return it as a set.
 
@@ -84,6 +85,12 @@ def verify_mis(
     — the same contract as
     :meth:`repro.beeping.scheduler.SimulationResult.verify`.
 
+    ``absent`` is the churn-aware counterpart: vertices of the universe
+    graph that are not part of the final alive subgraph (departed,
+    asleep at the end, or never joined).  Like crashed vertices they are
+    banned from the set and exempt from maximality, so the assertion
+    becomes "a valid MIS of the final alive subgraph".
+
     Raises
     ------
     MISValidationError
@@ -91,10 +98,16 @@ def verify_mis(
     """
     vertex_set = _as_checked_set(graph, vertices)
     crashed_set = set(crashed)
+    absent_set = set(absent)
     in_both = vertex_set & crashed_set
     if in_both:
         raise MISValidationError(
             f"crashed vertex {min(in_both)} is in the MIS"
+        )
+    in_absent = vertex_set & absent_set
+    if in_absent:
+        raise MISValidationError(
+            f"absent vertex {min(in_absent)} is in the MIS"
         )
     violations = independent_set_violations(graph, vertex_set)
     if violations:
@@ -103,10 +116,11 @@ def verify_mis(
             f"set is not independent: edge ({u}, {w}) has both endpoints "
             f"in the set ({len(violations)} violating edges in total)"
         )
+    exempt = crashed_set | absent_set
     uncovered = [
         v
         for v in uncovered_vertices(graph, vertex_set)
-        if v not in crashed_set
+        if v not in exempt
     ]
     if uncovered:
         raise MISValidationError(

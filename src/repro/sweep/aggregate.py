@@ -22,7 +22,10 @@ from repro.sweep.spec import CellSpec
 #: ``bits`` are the communication-complexity axes of the paper's
 #: beeping-vs-message-passing comparison: a beep costs one 1-bit message
 #: per incident channel, a numeric value O(log n) bits per channel.
-QUANTITIES = ("rounds", "beeps", "mis_size", "messages", "bits")
+#: ``repair`` is the mean self-repair time over a trial's resolved churn
+#: events (0.0 when the trial has none) and ``recovered`` is 1.0/0.0 per
+#: trial, so its mean over a cell is the recovered fraction.
+QUANTITIES = ("rounds", "beeps", "mis_size", "messages", "bits", "repair", "recovered")
 
 
 def outcome_value(outcome: TrialOutcome, quantity: str) -> float:
@@ -37,6 +40,13 @@ def outcome_value(outcome: TrialOutcome, quantity: str) -> float:
         return float(outcome.messages)
     if quantity == "bits":
         return float(outcome.bits)
+    if quantity == "repair":
+        resolved = [r for r in outcome.repair_rounds if r >= 0]
+        if not resolved:
+            return 0.0
+        return sum(resolved) / len(resolved)
+    if quantity == "recovered":
+        return 1.0 if outcome.recovered else 0.0
     raise ValueError(f"quantity must be one of {QUANTITIES}, got {quantity!r}")
 
 

@@ -14,6 +14,15 @@ order workers finish in.
 Executed shards are written back to the store as they complete, so an
 interrupted sweep resumes from its last finished shard.
 
+Worker failures do not sink the sweep: a shard whose execution raises is
+retried up to :data:`SHARD_ATTEMPTS` times in total, and if it still
+fails the sweep *finishes the remaining shards* and reports the casualty
+in :attr:`SweepReport.failed_shards` (ticking ``sweep.shard.retry`` /
+``sweep.shard.failed`` counters along the way).  Cells with a failed
+shard are left out of :attr:`SweepResult.outcomes`; because every
+*successful* shard was already written to the store, rerunning the same
+sweep recomputes only the failed window.
+
 Telemetry (:mod:`repro.telemetry`) is wired through the parent process:
 every shard lookup/execution becomes one ``sweep.shard`` span (with the
 shard's sha256 content hash, cell coordinates and cached flag as attrs),
@@ -30,15 +39,25 @@ are byte-identical either way.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.algorithms.registry import make_algorithm
 from repro.experiments.runner import TrialOutcome, run_fleet_trials, run_trials
 from repro.sweep.spec import FLEET_RULES, CellSpec, ShardSpec, SweepSpec
 from repro.sweep.store import PathLike, ResultStore
 from repro.telemetry import probes
+
+#: Executions attempted per shard before it is reported failed (one
+#: initial try plus two retries).
+SHARD_ATTEMPTS = 3
+
+#: Test hook: when set, called as ``hook(shard, attempt)`` at the top of
+#: every shard execution; raising fails that attempt.  Module-level so a
+#: value patched in before the pool starts reaches ``fork``-based worker
+#: processes too.
+_failure_injector: Optional[Callable[[ShardSpec, int], None]] = None
 
 
 @dataclass(frozen=True)
@@ -58,6 +77,23 @@ class ShardTiming:
         return f"{self.algorithm}[n={self.n} {self.lo}:{self.hi}]"
 
 
+@dataclass(frozen=True)
+class FailedShard:
+    """A shard that kept raising after every retry."""
+
+    algorithm: str
+    n: int
+    lo: int
+    hi: int
+    content_hash: str
+    attempts: int
+    error: str
+
+    def label(self) -> str:
+        """Compact ``algorithm[n=..] [lo, hi)`` tag for report lines."""
+        return f"{self.algorithm}[n={self.n} {self.lo}:{self.hi}]"
+
+
 @dataclass
 class SweepReport:
     """What a sweep actually did (cache hits vs. executed work).
@@ -65,7 +101,9 @@ class SweepReport:
     ``timings`` keeps one entry per distinct shard: executed shards carry
     their measured compute wall time, cached shards the (much smaller)
     store lookup time — the numbers ``_execute_shard_timed`` and the
-    store used to measure and drop.
+    store used to measure and drop.  ``failed_shards`` lists shards that
+    raised on every attempt; ``shards_retried`` counts the individual
+    retry attempts that preceded any success or failure.
     """
 
     shards_total: int = 0
@@ -73,6 +111,8 @@ class SweepReport:
     shards_cached: int = 0
     seconds_executed: float = 0.0
     timings: List[ShardTiming] = field(default_factory=list)
+    shards_retried: int = 0
+    failed_shards: List[FailedShard] = field(default_factory=list)
 
     @property
     def cache_hit_rate(self) -> Optional[float]:
@@ -103,6 +143,14 @@ class SweepReport:
             line += (
                 f" slowest={slowest[0].label()} {slowest[0].seconds:.3f}s"
             )
+        if self.shards_retried:
+            line += f" retried={self.shards_retried}"
+        if self.failed_shards:
+            first = self.failed_shards[0]
+            line += (
+                f" failed={len(self.failed_shards)}"
+                f" ({first.label()}: {first.error})"
+            )
         return line
 
 
@@ -115,8 +163,19 @@ class SweepResult:
     report: SweepReport = field(default_factory=SweepReport)
 
     def rows(self, cell: CellSpec) -> List[TrialOutcome]:
-        """All trial rows of one cell, in global trial order."""
-        return self.outcomes[cell]
+        """All trial rows of one cell, in global trial order.
+
+        Raises ``KeyError`` with the failure context when the cell is
+        absent because one of its shards failed (see
+        :attr:`SweepReport.failed_shards`).
+        """
+        try:
+            return self.outcomes[cell]
+        except KeyError:
+            raise KeyError(
+                f"no rows for cell {cell.algorithm}[n={cell.num_vertices}]"
+                f" — a shard failed: {self.report.summary()}"
+            ) from None
 
 
 def execute_shard(shard: ShardSpec) -> List[TrialOutcome]:
@@ -154,7 +213,11 @@ def execute_shard(shard: ShardSpec) -> List[TrialOutcome]:
     )
 
 
-def _execute_shard_timed(shard: ShardSpec) -> Tuple[List[TrialOutcome], float]:
+def _execute_shard_timed(
+    shard: ShardSpec, attempt: int = 0
+) -> Tuple[List[TrialOutcome], float]:
+    if _failure_injector is not None:
+        _failure_injector(shard, attempt)
     start = time.perf_counter()
     rows = execute_shard(shard)
     return rows, time.perf_counter() - start
@@ -255,22 +318,86 @@ def run_sweep(
             total=distinct - report.shards_cached,
         )
 
+    def record_retry(shard: ShardSpec, attempt: int, exc: BaseException) -> None:
+        report.shards_retried += 1
+        probes.count("sweep.shard.retry")
+        probes.annotate(
+            "sweep.shard.retry",
+            algorithm=shard.cell.algorithm,
+            n=shard.cell.num_vertices,
+            lo=shard.lo,
+            hi=shard.hi,
+            attempt=attempt,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+    def record_failure(shard: ShardSpec, exc: BaseException) -> None:
+        digest = shard.content_hash()
+        report.failed_shards.append(
+            FailedShard(
+                algorithm=shard.cell.algorithm,
+                n=shard.cell.num_vertices,
+                lo=shard.lo,
+                hi=shard.hi,
+                content_hash=digest,
+                attempts=SHARD_ATTEMPTS,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        )
+        probes.count("sweep.shard.failed")
+        probes.annotate(
+            "sweep.shard.failed",
+            algorithm=shard.cell.algorithm,
+            n=shard.cell.num_vertices,
+            lo=shard.lo,
+            hi=shard.hi,
+            content_hash=digest,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
     workers = 1
     execute_start = time.perf_counter()
     if len(missing) > 1 and jobs > 1:
         workers = min(jobs, len(missing))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_execute_shard_timed, shard): shard
+            # Retries are resubmitted to the same pool, so ``as_completed``
+            # over a fixed future set would miss them — drain with a
+            # wait() loop over a mutating pending map instead.
+            pending = {
+                pool.submit(_execute_shard_timed, shard, 0): (shard, 0)
                 for shard in missing
             }
-            for future in as_completed(futures):
-                rows, elapsed = future.result()
-                record(futures[future], rows, elapsed)
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    shard, attempt = pending.pop(future)
+                    try:
+                        rows, elapsed = future.result()
+                    except Exception as exc:
+                        if attempt + 1 < SHARD_ATTEMPTS:
+                            record_retry(shard, attempt, exc)
+                            pending[
+                                pool.submit(
+                                    _execute_shard_timed, shard, attempt + 1
+                                )
+                            ] = (shard, attempt + 1)
+                        else:
+                            record_failure(shard, exc)
+                        continue
+                    record(shard, rows, elapsed)
     else:
         for shard in missing:
-            rows, elapsed = _execute_shard_timed(shard)
-            record(shard, rows, elapsed)
+            for attempt in range(SHARD_ATTEMPTS):
+                try:
+                    rows, elapsed = _execute_shard_timed(shard, attempt)
+                except Exception as exc:
+                    if attempt + 1 < SHARD_ATTEMPTS:
+                        record_retry(shard, attempt, exc)
+                        continue
+                    record_failure(shard, exc)
+                else:
+                    record(shard, rows, elapsed)
+                break
 
     if probes.enabled() and report.shards_executed:
         wall = time.perf_counter() - execute_start
@@ -284,8 +411,16 @@ def run_sweep(
     result = SweepResult(spec=spec, report=report)
     for cell in spec.cells:
         assembled: List[TrialOutcome] = []
+        complete = True
         for lo in range(0, cell.trials, spec.shard_trials):
             hi = min(lo + spec.shard_trials, cell.trials)
-            assembled.extend(rows_by_hash[ShardSpec(cell, lo, hi).content_hash()])
-        result.outcomes[cell] = assembled
+            digest = ShardSpec(cell, lo, hi).content_hash()
+            if digest not in rows_by_hash:
+                # One of this cell's shards failed all its attempts; the
+                # cell is reported via failed_shards instead of rows.
+                complete = False
+                break
+            assembled.extend(rows_by_hash[digest])
+        if complete:
+            result.outcomes[cell] = assembled
     return result

@@ -41,7 +41,7 @@ from random import Random
 from typing import Any, Callable, Dict, List, Tuple, Union
 
 from repro.algorithms.registry import available_algorithms
-from repro.beeping.faults import CrashSchedule, FaultModel
+from repro.beeping.faults import ChurnSchedule, CrashSchedule, FaultModel
 from repro.beeping.rng import RNG_MODES
 from repro.engine.applications import APPLICATION_RULES, ApplicationRule
 from repro.engine.messages import MESSAGE_RULES, MessageRule
@@ -56,7 +56,11 @@ from repro.graphs.structured import grid_graph
 #: for v2 keys.  The application kernels (``mis-*``) did NOT need a bump:
 #: they are new algorithm names, so their shards hash to fresh keys on
 #: their own, and no pre-existing fingerprint changed.
-SPEC_FORMAT_VERSION = 2
+#: v3: rows grew the churn self-repair columns (``repair_rounds``,
+#: ``recovered``) and every fingerprint a ``churn`` entry; v2 rows never
+#: carry repair data, so they must not be served for v3 keys even though
+#: churn-free numeric columns are unchanged.
+SPEC_FORMAT_VERSION = 3
 
 ENGINES = ("fleet", "reference")
 FAMILIES = ("gnp", "grid")
@@ -89,6 +93,46 @@ MESSAGE_FLEET_RULES = frozenset(MESSAGE_RULES)
 #: (MIS-peeling colouring, matching, dominating, ruling sets): like the
 #: message kernels, counter rng mode only and no fault injection.
 APPLICATION_FLEET_RULES = frozenset(APPLICATION_RULES)
+
+#: Registry algorithms that honour churn schedules on the reference
+#: engine: the beeping-scheduler algorithms plus the Luby baselines.
+#: The rest (Métivier, local-minimum-id, the greedy baselines) ignore
+#: the fault model entirely, so a churn cell naming one of them would
+#: silently compute an MIS of the wrong graph — rejected instead.
+CHURN_REFERENCE_ALGORITHMS = frozenset(
+    {
+        "feedback",
+        "afek-sweep",
+        "afek-global",
+        "luby-permutation",
+        "luby-probability",
+    }
+)
+
+
+def churn_to_json(churn: Tuple[Tuple[Any, ...], ...]) -> List[List[Any]]:
+    """Churn event tuples as JSON-safe nested lists."""
+    return [
+        [event[0], event[1], event[2], list(event[3])]
+        if len(event) == 4
+        else [event[0], event[1], event[2]]
+        for event in churn
+    ]
+
+
+def churn_from_json(payload: Any) -> Tuple[Tuple[Any, ...], ...]:
+    """Inverse of :func:`churn_to_json` (tolerates tuple input)."""
+    events = []
+    for event in payload:
+        kind, round_index, vertex = event[0], int(event[1]), int(event[2])
+        if len(event) == 4:
+            events.append(
+                (kind, round_index, vertex,
+                 tuple(int(w) for w in event[3]))
+            )
+        else:
+            events.append((kind, round_index, vertex))
+    return tuple(events)
 
 
 def canonical_json(payload: Any) -> str:
@@ -123,10 +167,16 @@ class CellSpec:
       ignores ``rng_mode``.
 
     Both engines support the fault fields (``beep_loss``,
-    ``spurious_beep``, ``crashes``) — fleet cells inject them as
-    vectorised per-edge/per-node masks, reference cells through the
-    per-node channel; robustness grids therefore get the fleet speedup
-    and the shard cache (see ``docs/robustness.md``).
+    ``spurious_beep``, ``crashes``, ``churn``) — fleet cells inject
+    them as vectorised per-edge/per-node masks, reference cells through
+    the per-node channel; robustness grids therefore get the fleet
+    speedup and the shard cache (see ``docs/robustness.md``).  ``churn``
+    holds :meth:`~repro.beeping.faults.ChurnSchedule.to_tuples`-style
+    event tuples — ``(kind, round, vertex)`` plus
+    ``("join", round, vertex, (neighbours...))`` — canonicalised and
+    validated through :class:`~repro.beeping.faults.ChurnSchedule` on
+    construction.  Churn reference cells must name a
+    :data:`CHURN_REFERENCE_ALGORITHMS` member.
     """
 
     algorithm: str
@@ -143,6 +193,7 @@ class CellSpec:
     beep_loss: float = 0.0
     spurious_beep: float = 0.0
     crashes: Tuple[Tuple[int, int], ...] = ()
+    churn: Tuple[Tuple[Any, ...], ...] = ()
     validate: bool = True
     max_rounds: int = 100_000
     #: Fleet neighbour-reduction kernel (``auto``/``dense``/``sparse``/
@@ -187,7 +238,26 @@ class CellSpec:
             "crashes",
             tuple(sorted((int(r), int(v)) for r, v in self.crashes)),
         )
+        # Canonicalise (sort, dedup-check, timeline-validate) the churn
+        # events through the schedule round trip.
+        object.__setattr__(
+            self,
+            "churn",
+            ChurnSchedule.from_events(
+                churn_from_json(self.churn)
+            ).to_tuples(),
+        )
         self.fault_model()  # validates the fault fields for every engine
+        if (
+            self.churn
+            and self.engine == "reference"
+            and self.algorithm not in CHURN_REFERENCE_ALGORITHMS
+        ):
+            raise ValueError(
+                f"algorithm {self.algorithm!r} ignores churn schedules; "
+                "churn reference cells support "
+                f"{sorted(CHURN_REFERENCE_ALGORITHMS)}"
+            )
         if self.engine == "fleet":
             if self.algorithm not in FLEET_RULES:
                 raise ValueError(
@@ -230,6 +300,7 @@ class CellSpec:
             beep_loss_probability=self.beep_loss,
             spurious_beep_probability=self.spurious_beep,
             crash_schedule=CrashSchedule.from_pairs(self.crashes),
+            churn_schedule=ChurnSchedule.from_events(self.churn),
         )
 
     def graph_factory(self) -> Callable[[Random], Graph]:
@@ -250,6 +321,7 @@ class CellSpec:
             "beep_loss": self.beep_loss,
             "spurious_beep": self.spurious_beep,
             "crashes": [list(pair) for pair in self.crashes],
+            "churn": churn_to_json(self.churn),
             "max_rounds": self.max_rounds,
         }
         if self.family == "gnp":
@@ -285,6 +357,7 @@ class CellSpec:
             "beep_loss": self.beep_loss,
             "spurious_beep": self.spurious_beep,
             "crashes": [list(pair) for pair in self.crashes],
+            "churn": churn_to_json(self.churn),
             "validate": self.validate,
             "max_rounds": self.max_rounds,
             "backend": self.backend,
@@ -297,6 +370,7 @@ class CellSpec:
         data["crashes"] = tuple(
             (int(r), int(v)) for r, v in data.get("crashes", ())
         )
+        data["churn"] = churn_from_json(data.get("churn", ()))
         return CellSpec(**data)
 
 

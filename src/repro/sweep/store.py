@@ -81,11 +81,14 @@ class ShardManifest:
 
 
 def _row_to_json(outcome: TrialOutcome) -> str:
-    return json.dumps(
-        {name: getattr(outcome, name) for name in _ROW_FIELDS},
-        sort_keys=True,
-        separators=(",", ":"),
-    )
+    # Churn fields are serialised only when non-default so that rows from
+    # fault-free (and crash-only) cells keep their pre-churn byte layout.
+    payload = {name: getattr(outcome, name) for name in _ROW_FIELDS}
+    if outcome.repair_rounds:
+        payload["repair_rounds"] = list(outcome.repair_rounds)
+    if not outcome.recovered:
+        payload["recovered"] = False
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
 def _row_from_json(line: str) -> TrialOutcome:
@@ -97,6 +100,8 @@ def _row_from_json(line: str) -> TrialOutcome:
         mean_beeps_per_node=float(payload["mean_beeps_per_node"]),
         messages=int(payload["messages"]),
         bits=int(payload["bits"]),
+        repair_rounds=tuple(int(r) for r in payload.get("repair_rounds", ())),
+        recovered=bool(payload.get("recovered", True)),
     )
 
 

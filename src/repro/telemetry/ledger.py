@@ -192,6 +192,9 @@ class RunSummary:
     shard_spans: List[Dict[str, Any]] = field(default_factory=list)
     #: distinct shard/spec content hashes seen in annotations and spans
     spec_hashes: List[str] = field(default_factory=list)
+    #: every "sweep.shard.failed" annotation's attrs (shards that kept
+    #: raising after all retries), in ledger order
+    failed_shards: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def cache_hits(self) -> float:
@@ -268,6 +271,8 @@ def summarize_run(path: PathLike) -> RunSummary:
                 digest = attrs.get("content_hash")
                 if digest and digest not in summary.spec_hashes:
                     summary.spec_hashes.append(str(digest))
+                if event.get("name") == "sweep.shard.failed":
+                    summary.failed_shards.append(dict(attrs))
         except (KeyError, TypeError, ValueError):
             # A malformed-but-parseable line loses itself, not the run.
             continue

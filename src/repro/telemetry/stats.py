@@ -153,6 +153,15 @@ def run_detail(run: RunSummary, slowest: int = 5) -> str:
         lines.append("gauges:")
         for name, value in sorted(run.gauges.items()):
             lines.append(f"  {name}: {value:g}")
+    if run.failed_shards:
+        lines.append("failed shards (exhausted retries):")
+        for shard in run.failed_shards:
+            lines.append(
+                f"  {shard.get('algorithm', '?')}"
+                f"[n={shard.get('n', '?')} "
+                f"{shard.get('lo', '?')}:{shard.get('hi', '?')}] "
+                f"{shard.get('error', '?')}"
+            )
     shards = run.slowest_shards(slowest)
     if shards:
         lines.append("slowest shards:")
@@ -215,6 +224,7 @@ def stats_payload(
                 "gauges": run.gauges,
                 "phases": run.phases,
                 "versions": run.versions,
+                "failed_shards": run.failed_shards,
             }
             for run in runs
         ],

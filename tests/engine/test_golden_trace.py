@@ -107,3 +107,90 @@ def test_golden_trace_holds_for_per_trial_engines():
             assert run.rounds == GOLDEN_ROUNDS[t]
             assert sorted(run.mis) == GOLDEN_MIS[t]
             assert np.array_equal(run.beeps_by_node, GOLDEN_BEEPS[t])
+
+
+# ---------------------------------------------------------------------------
+# Golden churn trace: the same graph and master seed, now under a fixed
+# churn timeline.  The universe grows to 9 vertices (joiner 8 attaches to
+# 2 and 6), so every trace row below has 9 columns.  Repair times pin the
+# applied-batch discipline of record_quiescence: trial 0's wake at round
+# 4 re-opens the competition for 9 more rounds (repair 9), and must never
+# be resolved early by the quiet checkpoint that precedes its batch.
+
+CHURN_EVENTS = [
+    ("leave", 1, 0),
+    ("sleep", 2, 5),
+    ("wake", 4, 5),
+    ("join", 3, 8, (2, 6)),
+]
+CHURN_ROUNDS = [13, 5]
+CHURN_MIS = [[1, 5, 6, 7], [2, 3]]
+CHURN_BEEPS = [
+    [0, 1, 0, 0, 0, 2, 1, 1, 0],
+    [1, 0, 2, 1, 1, 0, 1, 0, 0],
+]
+CHURN_ABSENT = [[0], [0]]
+CHURN_REPAIR = [(0, 0, 0, 9), (1, 0, 0, 0)]
+CHURN_TRACE = {
+    0: ["010001110"] + ["000000000"] * 11 + ["000001000"],
+    1: ["101010100", "001100000"] + ["000000000"] * 3,
+}
+
+
+def _golden_churn_run(backend="dense"):
+    from repro.beeping.faults import ChurnSchedule, FaultModel
+
+    graph = gnp_random_graph(8, 0.4, Random(GRAPH_SEED))
+    assert sorted(graph.edges()) == GOLDEN_EDGES
+    faults = FaultModel(churn_schedule=ChurnSchedule.from_events(CHURN_EVENTS))
+    seeds = derive_seed_block(MASTER_SEED, 0, count=2)
+    return FleetSimulator(graph, backend=backend).run_fleet(
+        FeedbackRule(), seeds, validate=True, faults=faults,
+        rng_mode="stream", record_beeps=True,
+    )
+
+
+def test_golden_churn_trace():
+    """The checked-in churn run: exact rounds, MIS, beeps, repair times
+    and round-by-round trace on every fleet backend."""
+    for backend in ("dense", "sparse", "bitboard"):
+        run = _golden_churn_run(backend)
+        assert run.rounds.tolist() == CHURN_ROUNDS, backend
+        assert [sorted(run.mis_set(t)) for t in range(2)] == CHURN_MIS
+        assert run.beeps_by_node.tolist() == CHURN_BEEPS
+        history = run.beep_history
+        for trial, expected_rows in CHURN_TRACE.items():
+            observed = [
+                "".join("1" if beeped else "0" for beeped in history[r, trial])
+                for r in range(int(run.rounds[trial]))
+            ]
+            assert observed == expected_rows, (
+                f"{backend} trial {trial} churn trace drifted"
+            )
+        for t in range(2):
+            trial = run.trial_run(t)
+            assert sorted(trial.absent) == CHURN_ABSENT[t]
+            assert trial.repair_rounds == CHURN_REPAIR[t]
+            assert trial.recovered
+
+
+def test_golden_churn_trace_holds_for_per_trial_engines():
+    from repro.beeping.faults import ChurnSchedule, FaultModel
+    from repro.beeping.rng import derive_seed
+    from repro.engine.simulator import VectorizedSimulator
+    from repro.engine.sparse import SparseSimulator
+
+    graph = gnp_random_graph(8, 0.4, Random(GRAPH_SEED))
+    faults = FaultModel(churn_schedule=ChurnSchedule.from_events(CHURN_EVENTS))
+    for engine in (VectorizedSimulator(graph), SparseSimulator(graph)):
+        for t in range(2):
+            run = engine.run(
+                FeedbackRule(), derive_seed(MASTER_SEED, 0, t),
+                validate=True, faults=faults, rng_mode="stream",
+            )
+            assert run.rounds == CHURN_ROUNDS[t]
+            assert sorted(run.mis) == CHURN_MIS[t]
+            assert np.array_equal(run.beeps_by_node, CHURN_BEEPS[t])
+            assert sorted(run.absent) == CHURN_ABSENT[t]
+            assert run.repair_rounds == CHURN_REPAIR[t]
+            assert run.recovered

@@ -159,10 +159,12 @@ class TestShardHash:
         # v2: fleet fingerprints grew rng_mode (ISSUE 4); every v1 entry
         # is deliberately orphaned because fleet defaults moved from the
         # stream to the counter discipline.
-        assert SPEC_FORMAT_VERSION == 2
+        # v3: every fingerprint grew the churn axis (and rows the repair
+        # columns), so v2 entries are deliberately orphaned.
+        assert SPEC_FORMAT_VERSION == 3
         digest = ShardSpec(fleet_cell(), 0, 32).content_hash()
         assert digest == (
-            "0f767163ce669d9847f051c4e34b27379764f9e0c85fb05619b138c169dc2700"
+            "1a356a0c4cd42d6c0f9c37a2a34877b45b69b717bfd10b51a662254460b21cc6"
         )
 
     @pytest.mark.parametrize(

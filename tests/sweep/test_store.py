@@ -73,6 +73,78 @@ class TestPutGet:
         assert leftovers == []
 
 
+class TestChurnRows:
+    """Repair columns round-trip, and fault-free rows stay byte-stable."""
+
+    def churn_rows(self, spec):
+        return [
+            TrialOutcome(
+                trial=t,
+                rounds=9 + t,
+                mis_size=6,
+                mean_beeps_per_node=1.0,
+                messages=30,
+                bits=30,
+                repair_rounds=(0, 2, -1),
+                recovered=False,
+            )
+            for t in range(spec.lo, spec.hi)
+        ]
+
+    def test_repair_columns_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = shard()
+        rows = self.churn_rows(spec)
+        store.put(spec, rows)
+        loaded = store.get(spec)
+        assert loaded == rows
+        assert loaded[0].repair_rounds == (0, 2, -1)
+        assert loaded[0].recovered is False
+
+    def test_fault_free_rows_serialize_without_repair_fields(self, tmp_path):
+        """Pre-churn stored bytes must not change: default repair fields
+        stay off disk entirely."""
+        store = ResultStore(tmp_path)
+        spec = shard()
+        store.put(spec, rows_for(spec))
+        first = json.loads(store.rows_path(spec).read_text().splitlines()[0])
+        assert "repair_rounds" not in first
+        assert "recovered" not in first
+
+    def test_rows_missing_repair_fields_default(self, tmp_path):
+        """v2-era row files (no repair columns) still load, with the
+        fault-free defaults."""
+        loaded_rows = rows_for(shard())
+        assert loaded_rows[0].repair_rounds == ()
+        assert loaded_rows[0].recovered is True
+        store = ResultStore(tmp_path)
+        spec = shard()
+        store.put(spec, loaded_rows)
+        assert store.get(spec) == loaded_rows
+
+
+class TestRepairAggregation:
+    def test_repair_quantity_means_resolved_entries(self):
+        from repro.sweep.aggregate import outcome_value
+
+        row = TrialOutcome(
+            trial=0, rounds=9, mis_size=6, mean_beeps_per_node=1.0,
+            messages=0, bits=0, repair_rounds=(0, 4, -1), recovered=False,
+        )
+        assert outcome_value(row, "repair") == pytest.approx(2.0)
+        assert outcome_value(row, "recovered") == 0.0
+
+    def test_repair_quantity_without_churn_is_zero(self):
+        from repro.sweep.aggregate import outcome_value
+
+        row = TrialOutcome(
+            trial=0, rounds=9, mis_size=6, mean_beeps_per_node=1.0,
+            messages=0, bits=0,
+        )
+        assert outcome_value(row, "repair") == 0.0
+        assert outcome_value(row, "recovered") == 1.0
+
+
 class TestManifest:
     def test_provenance_fields(self, tmp_path):
         from repro import __version__

@@ -90,6 +90,33 @@ class TestRunDetail:
         # Both hashes are still tied to the run, though.
         assert run.spec_hashes == ["aa" * 32, "bb" * 32]
 
+    def test_failed_shards_surface_in_summary_and_detail(self, tmp_path):
+        """A sweep.shard.failed annotation (the orchestrator's exhausted-
+        retries report) lands in the run summary, the drill-down text,
+        and the --json payload."""
+        with record_run(tmp_path, "sweep"):
+            probes.count("sweep.shard.retry", 2)
+            probes.count("sweep.shard.failed")
+            probes.annotate(
+                "sweep.shard.failed",
+                algorithm="feedback",
+                n=50,
+                lo=4,
+                hi=8,
+                content_hash="cc" * 32,
+                error="RuntimeError: worker crashed",
+            )
+        (run,) = load_runs(tmp_path)
+        assert len(run.failed_shards) == 1
+        failed = run.failed_shards[0]
+        assert failed["lo"] == 4
+        assert failed["error"] == "RuntimeError: worker crashed"
+        detail = run_detail(run)
+        assert "failed shards (exhausted retries):" in detail
+        assert "feedback[n=50 4:8] RuntimeError: worker crashed" in detail
+        payload = stats_payload(tmp_path, bench_dir=tmp_path)
+        assert payload["runs"][0]["failed_shards"] == [failed]
+
 
 class TestBenchDrift:
     def test_headroom_is_speedup_over_floor(self, tmp_path):

@@ -141,6 +141,74 @@ class TestRobustness:
         with pytest.raises(SystemExit):
             main(["robustness", "--crash", "nope"])
 
+    def test_churn_grid_cold_then_warm(self, capsys, tmp_path):
+        args = [
+            "robustness",
+            "--nodes", "16",
+            "--trials", "4",
+            "--loss", "0.0", "0.2",
+            "--spurious", "0.0",
+            "--churn", "leave:1:0", "sleep:2:3", "wake:4:3",
+            "--cache-dir", str(tmp_path),
+            "--csv",
+        ]
+        assert main(args) == 0
+        out, err = capsys.readouterr()
+        assert out.startswith("series,x,mean,std,trials,repair,recovered\n")
+        assert "executed=" in err
+        # Warm rerun: byte-identical CSV, zero shards executed.
+        assert main(args) == 0
+        warm, warm_err = capsys.readouterr()
+        assert "executed=0" in warm_err
+        assert warm == out
+
+    def test_churn_table_mode_prints_repair_section(self, capsys):
+        assert main([
+            "robustness",
+            "--nodes", "14",
+            "--trials", "3",
+            "--loss", "0.0",
+            "--spurious", "0.0",
+            "--churn", "leave:1:0", "join:2:14:0+3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "self-repair (mean rounds to re-quiescence" in out
+        assert "recovered" in out
+
+    def test_rejects_malformed_churn_entry(self):
+        with pytest.raises(SystemExit, match="--churn"):
+            main(["robustness", "--churn", "nope"])
+        with pytest.raises(SystemExit, match="--churn"):
+            main(["robustness", "--churn", "wake:2:1"])  # wake w/o sleep
+
+
+class TestCompareChurn:
+    def test_compare_reports_repair_columns(self, capsys):
+        assert main([
+            "compare",
+            "--sizes", "12",
+            "--trials", "2",
+            "--churn", "leave:1:0",
+            "--algorithms", "feedback", "luby-permutation",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "repair" in out
+        assert "recovered" in out
+
+    def test_compare_rejects_churn_blind_algorithm(self):
+        with pytest.raises(SystemExit, match="churn"):
+            main([
+                "compare",
+                "--sizes", "12",
+                "--trials", "2",
+                "--churn", "leave:1:0",
+                "--algorithms", "greedy",
+            ])
+
+    def test_compare_rejects_malformed_churn_entry(self):
+        with pytest.raises(SystemExit, match="--churn"):
+            main(["compare", "--churn", "leave:1"])
+
 
 class TestFigures:
     def test_figure3_csv(self, capsys):
