@@ -1,0 +1,82 @@
+"""Cold vs warm one-command paper pipeline.
+
+The ``repro paper`` promise: the first run executes every shard (and the
+bio ODE) and stores them; the second run against the same cache must be
+pure lookup — seconds, not minutes, with byte-identical CSVs and HTML.
+This bench runs the full registry twice sharing one cache directory and
+asserts the ISSUE's acceptance floor: the warm pipeline at least 10x
+faster than the cold one, with every artefact byte-equal and zero shards
+executed.
+
+Run with ``pytest benchmarks/bench_paper_pipeline.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import report, write_bench_result
+from repro.experiments.paper import run_paper
+from repro.experiments.tables import format_table
+
+TRIALS = 8
+SPEEDUP_FLOOR = 10.0
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_warm_paper_pipeline_floor(tmp_path):
+    cache = tmp_path / "cache"
+
+    def regenerate(out_name):
+        return run_paper(
+            trials=TRIALS,
+            cache_dir=cache,
+            out_dir=tmp_path / out_name,
+            rundb_dir=tmp_path / "rundb",
+            golden_dir=None,
+            bench_dir=None,
+        )
+
+    cold, cold_seconds = _timed(lambda: regenerate("cold"))
+    warm, warm_seconds = _timed(lambda: regenerate("warm"))
+
+    speedup = cold_seconds / max(warm_seconds, 1e-9)
+    rows = [
+        ["cold (execute + store)", f"{cold_seconds * 1000:.1f}"],
+        ["warm (store only)", f"{warm_seconds * 1000:.1f}"],
+        ["speedup", f"{speedup:.1f}x"],
+    ]
+    report(
+        f"Paper pipeline: full registry, trials={TRIALS}, shared cache",
+        format_table(["run", "ms"], rows),
+    )
+    write_bench_result(
+        "paper_pipeline",
+        params={
+            "trials": TRIALS,
+            "experiments": [a.name for a in cold.artefacts],
+        },
+        results={
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": speedup,
+        },
+        floor=SPEEDUP_FLOOR,
+    )
+
+    # The warm pass is pure lookup producing identical bytes everywhere.
+    assert sum(a.shards_executed for a in warm.artefacts) == 0
+    for cold_artefact, warm_artefact in zip(cold.artefacts, warm.artefacts):
+        assert warm_artefact.csv == cold_artefact.csv, cold_artefact.name
+    assert (
+        warm.report_path.read_bytes() == cold.report_path.read_bytes()
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"warm paper pipeline only {speedup:.1f}x faster than cold "
+        f"(floor {SPEEDUP_FLOOR}x)"
+    )

@@ -12,13 +12,18 @@ Subcommands
   crashes) through the cached orchestrator, on the fleet engine.
 - ``theorem1`` — the lower-bound experiment on the clique family.
 - ``bio``      — run the Notch–Delta lattice model and report the pattern.
-- ``stats``    — summarise telemetry run ledgers and bench-floor drift.
+- ``paper``    — the one-command paper pipeline: regenerate every
+  registered experiment through the cached orchestrator, write CSVs +
+  a self-contained HTML report, record runs in a persistent run DB,
+  and (``--check``) fail on drift vs the committed goldens.
+- ``stats``    — summarise telemetry run ledgers, bench-floor drift,
+  and (``--rundb``) the paper pipeline's run database.
 - ``list``     — list the registered algorithms.
 
-``figure3``, ``figure5``, ``sizes``, ``sweep`` and ``robustness`` accept
-``--jobs`` (shard
-execution over worker processes) and ``--cache-dir`` (serve already-stored
-shards from the content-addressed result store); neither affects results.
+``figure3``, ``figure5``, ``sizes``, ``sweep``, ``robustness``,
+``report`` and ``paper`` accept ``--jobs`` (shard execution over worker
+processes) and ``--cache-dir`` (serve already-stored shards from the
+content-addressed result store); neither affects results.
 
 Every subcommand additionally accepts ``--telemetry DIR`` (write a JSONL
 run ledger, default ``$REPRO_TELEMETRY_DIR``), ``--verbose`` (per-shard
@@ -138,6 +143,7 @@ def _build_parser() -> argparse.ArgumentParser:
     thm1.add_argument("--max-side", type=int, default=10)
     thm1.add_argument("--trials", type=int, default=20)
     thm1.add_argument("--seed", type=int, default=1101)
+    _add_sweep_execution_arguments(thm1)
 
     bio = sub.add_parser("bio", help="Notch-Delta lattice simulation")
     bio.add_argument("--rows", type=int, default=8)
@@ -313,6 +319,62 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     report_cmd.add_argument("--trials", type=int, default=10)
     report_cmd.add_argument("--seed", type=int, default=2303)
+    _add_sweep_execution_arguments(report_cmd)
+
+    paper = sub.add_parser(
+        "paper",
+        help=(
+            "one-command paper pipeline: CSVs + HTML report + run DB, "
+            "with drift checking against the committed goldens"
+        ),
+    )
+    paper.add_argument(
+        "--trials", type=int, default=3,
+        help="trials per point (default: 3, the committed golden scale)",
+    )
+    paper.add_argument(
+        "--out", default="paper-artefacts", metavar="DIR",
+        help="output directory for csv/ and report.html",
+    )
+    paper.add_argument(
+        "--only", nargs="+", default=None, metavar="NAME",
+        help="run only these registry experiments",
+    )
+    paper.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless every artefact PASSes the drift check",
+    )
+    paper.add_argument(
+        "--golden", default=None, metavar="DIR",
+        help=(
+            "golden directory to diff against "
+            "(default: tests/experiments/golden_paper when present)"
+        ),
+    )
+    paper.add_argument(
+        "--write-golden", default=None, metavar="DIR",
+        help="pin this run's CSVs (plus manifest) as the goldens under DIR",
+    )
+    paper.add_argument(
+        "--bench-dir", default=".", metavar="DIR",
+        help="directory holding committed BENCH_*.json records",
+    )
+    paper.add_argument(
+        "--rundb", default=None, metavar="DIR",
+        help="persistent run database root (default: <out>/rundb)",
+    )
+    paper.add_argument(
+        "--now", default=None, metavar="STAMP",
+        help=(
+            "stamp the report with this timestamp string (omitting it "
+            "keeps reruns byte-identical)"
+        ),
+    )
+    paper.add_argument(
+        "--list", action="store_true",
+        help="list the registered experiments and exit",
+    )
+    _add_sweep_execution_arguments(paper)
 
     animate = sub.add_parser(
         "animate", help="round-by-round text animation of one run"
@@ -339,6 +401,10 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--slowest", type=int, default=5, metavar="N",
         help="how many slowest shards to show (default: 5)",
+    )
+    stats.add_argument(
+        "--rundb", default=None, metavar="DIR",
+        help="also list the paper pipeline's run database under DIR",
     )
     stats.add_argument(
         "--json", action="store_true", help="emit the JSON document instead"
@@ -654,7 +720,8 @@ def _command_robustness(args: argparse.Namespace) -> int:
 def _command_theorem1(args: argparse.Namespace) -> int:
     sides = list(range(3, args.max_side + 1, max(1, (args.max_side - 3) // 4)))
     result = theorem1_experiment(
-        sides=sides, trials=args.trials, master_seed=args.seed
+        sides=sides, trials=args.trials, master_seed=args.seed,
+        jobs=args.jobs, cache_dir=args.cache_dir,
     )
     print(format_experiment(result))
     print()
@@ -842,7 +909,61 @@ def _command_wakeup(args: argparse.Namespace) -> int:
 def _command_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import build_report
 
-    print(build_report(trials=args.trials, master_seed=args.seed))
+    print(
+        build_report(
+            trials=args.trials,
+            master_seed=args.seed,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+        )
+    )
+    return 0
+
+
+def _command_paper(args: argparse.Namespace) -> int:
+    from repro.experiments.paper import (
+        GOLDEN_AUTO,
+        experiment_names,
+        run_paper,
+        write_golden,
+    )
+
+    if args.list:
+        for name in experiment_names():
+            print(name)
+        return 0
+    quiet = getattr(args, "quiet", False)
+
+    def progress(line: str) -> None:
+        if not quiet:
+            print(f"# {line}")
+
+    try:
+        pipeline = run_paper(
+            trials=args.trials,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            out_dir=args.out,
+            only=args.only,
+            golden_dir=args.golden if args.golden is not None else GOLDEN_AUTO,
+            bench_dir=args.bench_dir,
+            rundb_dir=args.rundb,
+            now=args.now,
+            progress=progress,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    if args.write_golden is not None:
+        for path in write_golden(pipeline, args.write_golden):
+            progress(f"golden pinned: {path}")
+    for verdict in pipeline.drift:
+        progress(f"drift {verdict.artefact}: {verdict.status} "
+                 f"({verdict.detail})")
+    progress(f"report: {pipeline.report_path}")
+    if args.check and not pipeline.check_passed:
+        print("paper --check FAILED: artefacts drifted from the goldens "
+              "(or were unverifiable)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -876,23 +997,29 @@ def _command_stats(args: argparse.Namespace) -> int:
     from repro.telemetry import format_stats, stats_payload
 
     root = args.ledger or _telemetry_root(args)
-    if root is None:
+    if root is None and args.rundb is None:
         raise SystemExit(
-            "repro stats needs a ledger directory: pass --ledger/--telemetry "
-            "or set REPRO_TELEMETRY_DIR"
+            "repro stats needs a ledger directory (--ledger/--telemetry or "
+            "REPRO_TELEMETRY_DIR) or a run database (--rundb)"
         )
     if args.json:
         print(
             json.dumps(
                 stats_payload(
-                    root, args.bench_dir, args.run, slowest=args.slowest
+                    root, args.bench_dir, args.run, slowest=args.slowest,
+                    rundb_dir=args.rundb,
                 ),
                 indent=2,
                 sort_keys=True,
             )
         )
         return 0
-    print(format_stats(root, args.bench_dir, args.run, slowest=args.slowest))
+    print(
+        format_stats(
+            root, args.bench_dir, args.run, slowest=args.slowest,
+            rundb_dir=args.rundb,
+        )
+    )
     return 0
 
 
@@ -916,6 +1043,7 @@ _COMMANDS = {
     "match": _command_match,
     "wakeup": _command_wakeup,
     "report": _command_report,
+    "paper": _command_paper,
     "animate": _command_animate,
     "stats": _command_stats,
     "list": _command_list,

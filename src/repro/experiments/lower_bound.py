@@ -9,17 +9,26 @@ rounds vs ``n``: the sweep series grows like ``log² n`` while the feedback
 series — whose *local* probabilities can sit near ``1/d`` in each clique
 simultaneously — grows like ``log n``.  This is the empirical face of the
 paper's separation result.
+
+Execution goes through the sweep orchestrator (:mod:`repro.sweep`): each
+(side, rule) point is one fleet-engine ``family="theorem1"`` cell, so the
+experiment shares the trial-parallel fleet speedup and — with
+``cache_dir`` set — the content-addressed result store with every other
+figure driver.  Each cell derives its own master seed, and results are
+independent of ``jobs``, ``cache_dir`` and shard width.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
 
 from repro.beeping.rng import derive_seed
-from repro.engine.batch import run_batch
-from repro.engine.rules import FeedbackRule, SweepRule
 from repro.experiments.records import ExperimentResult, SeriesPoint
-from repro.graphs.cliques import theorem1_family
+
+PathLike = Union[str, Path]
+
+_RULE_NAMES = ("afek-sweep", "feedback")
 
 
 def theorem1_experiment(
@@ -28,34 +37,52 @@ def theorem1_experiment(
     copies: int = 0,
     master_seed: int = 1101,
     validate: bool = False,
+    jobs: int = 1,
+    cache_dir: Optional[PathLike] = None,
+    shard_trials: Optional[int] = None,
 ) -> ExperimentResult:
     """Rounds of sweep vs feedback on the Theorem 1 clique family.
 
     ``sides[i]`` plays the role of ``n^(1/3)``; the graph for side ``s``
     has ``copies·s(s+1)/2`` vertices (``copies`` defaults to ``s``).
+    ``jobs`` shards the sweep over worker processes; ``cache_dir``
+    enables the on-disk result store.
     """
-    points: List[SeriesPoint] = []
+    # Imported here, not at module scope: repro.sweep's modules consume
+    # repro.experiments.records/runner, so a top-level import would cycle.
+    from repro.sweep.aggregate import cell_point
+    from repro.sweep.orchestrator import run_sweep
+    from repro.sweep.spec import CellSpec, SweepSpec
+
+    cells: List[CellSpec] = []
     for side_index, side in enumerate(sides):
-        graph = theorem1_family(side, copies)
-        n = graph.num_vertices
-        for rule_index, rule_factory in enumerate((SweepRule, FeedbackRule)):
-            batch = run_batch(
-                graph,
-                rule_factory,
-                trials,
-                derive_seed(master_seed, side_index, rule_index),
-                validate=validate,
-            )
-            points.append(
-                SeriesPoint(
-                    series=batch.rule_name,
-                    x=float(n),
-                    mean=batch.mean_rounds,
-                    std=batch.std_rounds,
+        for rule_index, rule_name in enumerate(_RULE_NAMES):
+            cells.append(
+                CellSpec(
+                    algorithm=rule_name,
+                    engine="fleet",
+                    family="theorem1",
+                    side=side,
+                    copies=copies,
                     trials=trials,
-                    extra={"side": float(side)},
+                    master_seed=derive_seed(master_seed, side_index, rule_index),
+                    validate=validate,
                 )
             )
+    spec = SweepSpec(
+        tuple(cells),
+        shard_trials=shard_trials if shard_trials is not None else 32,
+    )
+    sweep = run_sweep(spec, store=cache_dir, jobs=jobs)
+    points: List[SeriesPoint] = [
+        cell_point(
+            cell,
+            sweep.rows(cell),
+            "rounds",
+            extra={"side": float(cell.side)},
+        )
+        for cell in cells
+    ]
     return ExperimentResult(
         experiment="theorem1",
         points=points,

@@ -98,13 +98,26 @@ def results_from_json(text: str) -> ExperimentResult:
     )
 
 
-def results_to_csv(result: ExperimentResult) -> str:
-    """Flat CSV with one row per point (series,x,mean,std,trials)."""
+def results_to_csv(
+    result: ExperimentResult,
+    extra_columns: Sequence[str] = (),
+) -> str:
+    """Flat CSV with one row per point (series,x,mean,std,trials).
+
+    ``extra_columns`` appends named ``point.extra`` entries as additional
+    columns (blank where a point lacks the key), so drivers that carry
+    per-point extras — optimum ratios, ablation scores — export them
+    without a bespoke writer.  The default output is unchanged.
+    """
     buffer = io.StringIO()
     writer = csv.writer(buffer, lineterminator="\n")
-    writer.writerow(["series", "x", "mean", "std", "trials"])
+    writer.writerow(["series", "x", "mean", "std", "trials", *extra_columns])
     for point in result.points:
-        writer.writerow(
-            [point.series, point.x, point.mean, point.std, point.trials]
-        )
+        row: List[Any] = [
+            point.series, point.x, point.mean, point.std, point.trials
+        ]
+        for name in extra_columns:
+            value = point.extra.get(name)
+            row.append("" if value is None else value)
+        writer.writerow(row)
     return buffer.getvalue()

@@ -4,12 +4,22 @@
 and renders a single text report — the programmatic counterpart of
 EXPERIMENTS.md, used by ``repro-mis report`` and handy for checking a
 changed algorithm against all claims at once.
+
+Every orchestrated section threads ``jobs``/``cache_dir`` through to the
+sweep orchestrator, so ``repro report --cache-dir .cache`` reuses (and
+extends) the same shard store as ``repro paper`` and ``repro sweep``.
+The factor-ablation section is the one exception: it explores engine
+*parameter* perturbations outside the CellSpec schema and stays a direct
+batch run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from pathlib import Path
+from typing import List, Optional, Union
+
+PathLike = Union[str, Path]
 
 from repro.analysis.regression import fit_log2, fit_log2_squared
 from repro.experiments.ablations import factor_ablation
@@ -32,9 +42,20 @@ def _verdict(flag: bool) -> str:
     return "PASS" if flag else "FAIL"
 
 
-def _figure3_section(trials: int, master_seed: int) -> ReportSection:
+def _figure3_section(
+    trials: int,
+    master_seed: int,
+    jobs: int = 1,
+    cache_dir: Optional[PathLike] = None,
+) -> ReportSection:
     sizes = (50, 100, 200, 400)
-    result = figure3_series(sizes=sizes, trials=trials, master_seed=master_seed)
+    result = figure3_series(
+        sizes=sizes,
+        trials=trials,
+        master_seed=master_seed,
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
     feedback = result.means("feedback")
     sweep = result.means("afek-sweep")
     ns = result.xs("feedback")
@@ -54,9 +75,18 @@ def _figure3_section(trials: int, master_seed: int) -> ReportSection:
     return ReportSection("Figure 3: rounds vs n", body, passed)
 
 
-def _figure5_section(trials: int, master_seed: int) -> ReportSection:
+def _figure5_section(
+    trials: int,
+    master_seed: int,
+    jobs: int = 1,
+    cache_dir: Optional[PathLike] = None,
+) -> ReportSection:
     result = figure5_series(
-        sizes=(10, 50, 100, 200), trials=trials, master_seed=master_seed
+        sizes=(10, 50, 100, 200),
+        trials=trials,
+        master_seed=master_seed,
+        jobs=jobs,
+        cache_dir=cache_dir,
     )
     feedback = result.means("feedback")
     sweep = result.means("afek-sweep")
@@ -68,9 +98,18 @@ def _figure5_section(trials: int, master_seed: int) -> ReportSection:
     )
 
 
-def _grid_section(trials: int, master_seed: int) -> ReportSection:
+def _grid_section(
+    trials: int,
+    master_seed: int,
+    jobs: int = 1,
+    cache_dir: Optional[PathLike] = None,
+) -> ReportSection:
     result = grid_beeps_series(
-        side_lengths=(5, 10), trials=trials, master_seed=master_seed
+        side_lengths=(5, 10),
+        trials=trials,
+        master_seed=master_seed,
+        jobs=jobs,
+        cache_dir=cache_dir,
     )
     means = [p.mean for p in result.series("feedback")]
     passed = all(0.6 < m < 2.0 for m in means)
@@ -81,9 +120,18 @@ def _grid_section(trials: int, master_seed: int) -> ReportSection:
     )
 
 
-def _theorem1_section(trials: int, master_seed: int) -> ReportSection:
+def _theorem1_section(
+    trials: int,
+    master_seed: int,
+    jobs: int = 1,
+    cache_dir: Optional[PathLike] = None,
+) -> ReportSection:
     result = theorem1_experiment(
-        sides=(4, 8, 12), trials=trials, master_seed=master_seed
+        sides=(4, 8, 12),
+        trials=trials,
+        master_seed=master_seed,
+        jobs=jobs,
+        cache_dir=cache_dir,
     )
     sweep = result.means("afek-sweep")
     feedback = result.means("feedback")
@@ -112,23 +160,31 @@ def _robustness_section(trials: int, master_seed: int) -> ReportSection:
 
 
 def build_sections(
-    trials: int = 10, master_seed: int = 2303
+    trials: int = 10,
+    master_seed: int = 2303,
+    jobs: int = 1,
+    cache_dir: Optional[PathLike] = None,
 ) -> List[ReportSection]:
     """Run every reduced experiment and return the rendered sections."""
     if trials < 2:
         raise ValueError("trials must be >= 2")
     return [
-        _figure3_section(trials, master_seed),
-        _figure5_section(trials, master_seed),
-        _grid_section(trials, master_seed),
-        _theorem1_section(trials, master_seed),
+        _figure3_section(trials, master_seed, jobs, cache_dir),
+        _figure5_section(trials, master_seed, jobs, cache_dir),
+        _grid_section(trials, master_seed, jobs, cache_dir),
+        _theorem1_section(trials, master_seed, jobs, cache_dir),
         _robustness_section(trials, master_seed),
     ]
 
 
-def build_report(trials: int = 10, master_seed: int = 2303) -> str:
+def build_report(
+    trials: int = 10,
+    master_seed: int = 2303,
+    jobs: int = 1,
+    cache_dir: Optional[PathLike] = None,
+) -> str:
     """The full text report, with a verdict summary at the top."""
-    sections = build_sections(trials, master_seed)
+    sections = build_sections(trials, master_seed, jobs, cache_dir)
     bar = "=" * 74
     lines = [
         bar,

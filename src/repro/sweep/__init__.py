@@ -14,7 +14,10 @@ Three layers (see ``docs/sweep.md`` for the full picture):
   sequential runner calls.
 
 :mod:`~repro.sweep.aggregate` folds stored rows back into the existing
-``SeriesPoint`` / ``ExperimentResult`` record schema.
+``SeriesPoint`` / ``ExperimentResult`` record schema, and
+:mod:`~repro.sweep.rundb` keeps the paper pipeline's persistent run
+database (append-only JSONL + rebuildable index, keyed by
+execution-fingerprint hash).
 """
 
 from repro.sweep.aggregate import QUANTITIES, cell_point, outcome_value, summarize
@@ -23,6 +26,13 @@ from repro.sweep.orchestrator import (
     SweepResult,
     execute_shard,
     run_sweep,
+)
+from repro.sweep.rundb import (
+    RUNDB_FORMAT_VERSION,
+    RunDB,
+    RunRecord,
+    fingerprint_hash,
+    sweep_spec_hash,
 )
 from repro.sweep.spec import (
     FLEET_RULES,
@@ -38,7 +48,10 @@ __all__ = [
     "CellSpec",
     "FLEET_RULES",
     "QUANTITIES",
+    "RUNDB_FORMAT_VERSION",
     "ResultStore",
+    "RunDB",
+    "RunRecord",
     "SPEC_FORMAT_VERSION",
     "STORE_FORMAT_VERSION",
     "ShardManifest",
@@ -49,7 +62,9 @@ __all__ = [
     "canonical_json",
     "cell_point",
     "execute_shard",
+    "fingerprint_hash",
     "outcome_value",
     "run_sweep",
     "summarize",
+    "sweep_spec_hash",
 ]

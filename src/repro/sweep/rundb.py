@@ -1,0 +1,236 @@
+"""Persistent run database for the paper pipeline.
+
+Every ``repro paper`` invocation appends one :class:`RunRecord` per
+regenerated experiment to an on-disk database, keyed by the experiment's
+*execution-fingerprint hash* — a sha256 over exactly the shard content
+hashes the sweep orchestrator looked up (plus, for non-orchestrated
+experiments, a canonical parameter fingerprint).  Two runs with equal
+keys are guaranteed byte-identical artefacts, so the database answers
+"when did these exact bytes last get produced, and from how warm a
+cache?" across sessions.
+
+Layout (under one database root)::
+
+    <root>/runs.jsonl   append-only, one JSON record per line
+    <root>/index.json   rebuildable summary (atomic rewrite)
+
+The write discipline mirrors the result store and the telemetry ledger:
+records land as single ``O_APPEND`` line writes, the index via
+``atomic_write_text``, and readers tolerate damage — an unparsable
+(torn) trailing line is skipped, a corrupt index is rebuilt from the
+records.  The database is therefore safe to share between concurrent
+pipeline runs and never blocks on partial state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.sweep.spec import SPEC_FORMAT_VERSION, SweepSpec, canonical_json
+from repro.sweep.store import atomic_write_text
+
+PathLike = Union[str, Path]
+
+#: Bump when the record schema changes incompatibly (read-time check on
+#: the index only; records are self-describing and skipped when stale).
+RUNDB_FORMAT_VERSION = 1
+
+
+def sweep_spec_hash(spec: SweepSpec) -> str:
+    """sha256 over a sweep's execution fingerprints (order-sensitive).
+
+    Shard width is excluded — like the store's shard hashes, the key must
+    not split when only the partition of ``[0, trials)`` changes.
+    """
+    payload = {
+        "format": SPEC_FORMAT_VERSION,
+        "cells": [cell.execution_fingerprint() for cell in spec.cells],
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def fingerprint_hash(payload: Any) -> str:
+    """sha256 over any JSON-safe payload's canonical serialisation.
+
+    The spec-hash fallback for experiments that do not run through the
+    orchestrator (the bio ODE ablation): hash the parameters that
+    determine the artefact bytes instead of shard fingerprints.
+    """
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One experiment regeneration, as stored in the database.
+
+    ``spec_hash`` is the execution-fingerprint key; ``shards_*`` count
+    the orchestrator's distinct shard lookups (all zero for experiments
+    outside the orchestrator); ``drift`` is the golden verdict at record
+    time (``PASS``/``DRIFT``/``MISSING``/``SKIP``); ``csv_sha256``
+    fingerprints the emitted artefact, so byte drift is detectable from
+    the database alone.
+    """
+
+    run_id: str
+    experiment: str
+    spec_hash: str
+    trials: int
+    shards_total: int = 0
+    shards_executed: int = 0
+    shards_cached: int = 0
+    elapsed_seconds: float = 0.0
+    drift: str = "MISSING"
+    csv_sha256: str = ""
+    created: float = 0.0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> Optional[float]:
+        """Cached fraction of the run's shard lookups, or ``None``."""
+        looked_up = self.shards_executed + self.shards_cached
+        if looked_up <= 0:
+            return None
+        return self.shards_cached / looked_up
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (one ``runs.jsonl`` line)."""
+        return {
+            "format": RUNDB_FORMAT_VERSION,
+            "run_id": self.run_id,
+            "experiment": self.experiment,
+            "spec_hash": self.spec_hash,
+            "trials": self.trials,
+            "shards_total": self.shards_total,
+            "shards_executed": self.shards_executed,
+            "shards_cached": self.shards_cached,
+            "elapsed_seconds": self.elapsed_seconds,
+            "drift": self.drift,
+            "csv_sha256": self.csv_sha256,
+            "created": self.created,
+            "extra": self.extra,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "RunRecord":
+        """Inverse of :meth:`to_dict`."""
+        return RunRecord(
+            run_id=str(payload["run_id"]),
+            experiment=str(payload["experiment"]),
+            spec_hash=str(payload["spec_hash"]),
+            trials=int(payload["trials"]),
+            shards_total=int(payload.get("shards_total", 0)),
+            shards_executed=int(payload.get("shards_executed", 0)),
+            shards_cached=int(payload.get("shards_cached", 0)),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            drift=str(payload.get("drift", "MISSING")),
+            csv_sha256=str(payload.get("csv_sha256", "")),
+            created=float(payload.get("created", 0.0)),
+            extra=dict(payload.get("extra", {})),
+        )
+
+
+class RunDB:
+    """The append-only pipeline run database under one directory."""
+
+    def __init__(self, root: PathLike) -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def root(self) -> Path:
+        """The database root directory."""
+        return self._root
+
+    @property
+    def runs_path(self) -> Path:
+        """The append-only record log."""
+        return self._root / "runs.jsonl"
+
+    @property
+    def index_path(self) -> Path:
+        """The rebuildable summary index."""
+        return self._root / "index.json"
+
+    def append(self, record: RunRecord) -> None:
+        """Append one record (single line write) and refresh the index."""
+        line = json.dumps(
+            record.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        # One write call in append mode: concurrent appenders interleave
+        # whole lines on POSIX, and a crash mid-write leaves at most one
+        # torn trailing line, which records() skips.
+        with open(self.runs_path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+        self._write_index(self.records())
+
+    def records(self) -> List[RunRecord]:
+        """Every parseable record, in append order.
+
+        Damage tolerance mirrors the ledger reader: lines that do not
+        parse as JSON or lack required fields (torn tails, foreign
+        garbage) are skipped, never fatal.
+        """
+        try:
+            text = self.runs_path.read_text(encoding="utf-8")
+        except OSError:
+            return []
+        records: List[RunRecord] = []
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                records.append(RunRecord.from_dict(json.loads(line)))
+            except (ValueError, KeyError, TypeError):
+                continue
+        return records
+
+    def runs_for(self, spec_hash: str) -> List[RunRecord]:
+        """All records keyed by ``spec_hash`` (prefix match allowed)."""
+        return [
+            record
+            for record in self.records()
+            if record.spec_hash.startswith(spec_hash)
+        ]
+
+    def latest(self, experiment: str) -> Optional[RunRecord]:
+        """The most recent record of one experiment, or ``None``."""
+        found = None
+        for record in self.records():
+            if record.experiment == experiment:
+                found = record
+        return found
+
+    def index(self) -> Dict[str, Any]:
+        """The summary index, rebuilt from the records when damaged."""
+        try:
+            payload = json.loads(self.index_path.read_text(encoding="utf-8"))
+            if payload.get("format") == RUNDB_FORMAT_VERSION:
+                return payload
+        except (OSError, ValueError):
+            pass
+        return self._write_index(self.records())
+
+    def _write_index(self, records: Sequence[RunRecord]) -> Dict[str, Any]:
+        experiments: Dict[str, Dict[str, Any]] = {}
+        for record in records:
+            entry = experiments.setdefault(
+                record.experiment, {"runs": 0}
+            )
+            entry["runs"] += 1
+            entry["last_run_id"] = record.run_id
+            entry["last_spec_hash"] = record.spec_hash
+            entry["last_drift"] = record.drift
+        payload = {
+            "format": RUNDB_FORMAT_VERSION,
+            "records": len(records),
+            "experiments": experiments,
+        }
+        atomic_write_text(
+            self.index_path,
+            json.dumps(payload, indent=2, sort_keys=True),
+        )
+        return payload

@@ -46,6 +46,7 @@ from repro.beeping.rng import RNG_MODES
 from repro.engine.applications import APPLICATION_RULES, ApplicationRule
 from repro.engine.messages import MESSAGE_RULES, MessageRule
 from repro.engine.rules import FeedbackRule, ProbabilityRule, SweepRule
+from repro.graphs.cliques import theorem1_family
 from repro.graphs.graph import Graph
 from repro.graphs.random_graphs import gnp_random_graph
 from repro.graphs.structured import grid_graph
@@ -63,7 +64,12 @@ from repro.graphs.structured import grid_graph
 SPEC_FORMAT_VERSION = 3
 
 ENGINES = ("fleet", "reference")
-FAMILIES = ("gnp", "grid")
+#: Graph families a cell can name.  ``theorem1`` is the paper's
+#: disjoint-clique lower-bound family (``copies`` copies of ``K_d`` for
+#: ``d = 1..side``); it joined in v3 *without* a format bump — its
+#: fingerprint fields (``side``, ``copies``) only appear under the new
+#: family value, so no pre-existing key changed.
+FAMILIES = ("gnp", "grid", "theorem1")
 
 #: Fleet neighbour-reduction kernels a cell may request
 #: (:class:`~repro.engine.fleet.FleetSimulator` backends).  The
@@ -145,7 +151,10 @@ class CellSpec:
     """One grid cell: an algorithm on a graph family at one size.
 
     ``family="gnp"`` draws ``G(n, edge_probability)``; ``family="grid"``
-    uses a fixed ``rows × cols`` grid (the rng is ignored).  ``engine``
+    uses a fixed ``rows × cols`` grid (the rng is ignored);
+    ``family="theorem1"`` uses the paper's lower-bound construction —
+    ``copies`` copies of ``K_d`` for ``d = 1..side`` (``copies=0`` means
+    ``side``, the paper's choice) — also deterministic.  ``engine``
     selects execution semantics:
 
     - ``"fleet"`` — :func:`repro.experiments.runner.run_fleet_trials`:
@@ -186,6 +195,8 @@ class CellSpec:
     edge_probability: float = 0.5
     rows: int = 0
     cols: int = 0
+    side: int = 0
+    copies: int = 0
     trials: int = 1
     graphs: int = 1
     master_seed: int = 0
@@ -222,10 +233,19 @@ class CellSpec:
                 raise ValueError(
                     f"edge_probability must be in [0, 1], got {self.edge_probability}"
                 )
-        else:
+        elif self.family == "grid":
             if self.rows < 1 or self.cols < 1:
                 raise ValueError(
                     f"grid family needs rows, cols >= 1, got {self.rows}x{self.cols}"
+                )
+        else:
+            if self.side < 1:
+                raise ValueError(
+                    f"theorem1 family needs side >= 1, got {self.side}"
+                )
+            if self.copies < 0:
+                raise ValueError(
+                    f"theorem1 family needs copies >= 0, got {self.copies}"
                 )
         if self.trials < 1:
             raise ValueError(f"trials must be >= 1, got {self.trials}")
@@ -292,7 +312,12 @@ class CellSpec:
     @property
     def num_vertices(self) -> int:
         """The graph size (the natural x-axis value of this cell)."""
-        return self.n if self.family == "gnp" else self.rows * self.cols
+        if self.family == "gnp":
+            return self.n
+        if self.family == "grid":
+            return self.rows * self.cols
+        copies = self.copies or self.side
+        return copies * self.side * (self.side + 1) // 2
 
     def fault_model(self) -> FaultModel:
         """The cell's fault parameters as a :class:`FaultModel`."""
@@ -308,8 +333,11 @@ class CellSpec:
         if self.family == "gnp":
             n, p = self.n, self.edge_probability
             return lambda rng: gnp_random_graph(n, p, rng)
-        rows, cols = self.rows, self.cols
-        return lambda _rng: grid_graph(rows, cols)
+        if self.family == "grid":
+            rows, cols = self.rows, self.cols
+            return lambda _rng: grid_graph(rows, cols)
+        side, copies = self.side, self.copies
+        return lambda _rng: theorem1_family(side, copies)
 
     def execution_fingerprint(self) -> Dict[str, Any]:
         """The fields that determine this cell's rows (see module docs)."""
@@ -327,9 +355,12 @@ class CellSpec:
         if self.family == "gnp":
             fingerprint["n"] = self.n
             fingerprint["edge_probability"] = self.edge_probability
-        else:
+        elif self.family == "grid":
             fingerprint["rows"] = self.rows
             fingerprint["cols"] = self.cols
+        else:
+            fingerprint["side"] = self.side
+            fingerprint["copies"] = self.copies
         if self.engine == "fleet":
             # The per-graph grouping — and therefore every seed path —
             # depends on the full (trials, graphs) pair; the rng mode
@@ -350,6 +381,8 @@ class CellSpec:
             "edge_probability": self.edge_probability,
             "rows": self.rows,
             "cols": self.cols,
+            "side": self.side,
+            "copies": self.copies,
             "trials": self.trials,
             "graphs": self.graphs,
             "master_seed": self.master_seed,

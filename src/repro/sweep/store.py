@@ -42,6 +42,33 @@ STORE_FORMAT_VERSION = 1
 _ROW_FIELDS = ("trial", "rounds", "mis_size", "mean_beeps_per_node", "messages", "bits")
 
 
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The write discipline every on-disk artefact of the sweep subsystem
+    uses: a reader never sees a half-written file — either the old bytes,
+    or the complete new ones.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        "w",
+        encoding="utf-8",
+        dir=path.parent,
+        prefix=f".tmp-{path.name}-",
+        delete=False,
+    )
+    try:
+        with handle:
+            handle.write(text)
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
 @dataclass(frozen=True)
 class ShardManifest:
     """Provenance of one stored shard."""
@@ -128,24 +155,7 @@ class ResultStore:
         return self._root / digest[:2] / f"{digest}.manifest.json"
 
     def _atomic_write(self, path: Path, text: str) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        handle = tempfile.NamedTemporaryFile(
-            "w",
-            encoding="utf-8",
-            dir=path.parent,
-            prefix=f".tmp-{path.name}-",
-            delete=False,
-        )
-        try:
-            with handle:
-                handle.write(text)
-            os.replace(handle.name, path)
-        except BaseException:
-            try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
+        atomic_write_text(path, text)
 
     def manifest(self, shard: ShardSpec) -> Optional[ShardManifest]:
         """The shard's manifest, or ``None`` if absent/unreadable/stale."""

@@ -17,6 +17,7 @@ from repro.telemetry.ledger import (
     RunSummary,
     read_events,
     record_run,
+    run_versions,
     summarize_run,
 )
 from repro.telemetry.probes import (
@@ -44,6 +45,7 @@ __all__ = [
     "RunSummary",
     "read_events",
     "record_run",
+    "run_versions",
     "summarize_run",
     "Collector",
     "annotate",

@@ -39,8 +39,12 @@ PathLike = Union[str, Path]
 LEDGER_FORMAT_VERSION = 1
 
 
-def _versions() -> Dict[str, str]:
-    """The code/runtime versions recorded in every run header."""
+def run_versions() -> Dict[str, str]:
+    """The code/runtime versions recorded in every run header.
+
+    Also the provenance block of the paper pipeline's HTML report, so
+    the ledger and the report agree on what "version" means.
+    """
     from repro import __version__
 
     try:
@@ -54,6 +58,10 @@ def _versions() -> Dict[str, str]:
         "python": platform.python_version(),
         "numpy": numpy_version,
     }
+
+
+# Backwards-compatible private alias (pre-paper-pipeline name).
+_versions = run_versions
 
 
 class RunLedger:

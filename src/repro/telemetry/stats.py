@@ -11,6 +11,10 @@ form (``repro stats --json``):
   ledger: measured speedup vs the CI-enforced floor, and the drift
   (headroom) between them.  A benchmark drifting toward its floor is the
   early warning the floors themselves only give at the cliff edge.
+- **paper runs** (``--rundb DIR``) — the paper pipeline's persistent run
+  database (:mod:`repro.sweep.rundb`): one row per regenerated
+  experiment with its spec hash, shard cache hit-rate, and the drift
+  verdict recorded at run time.
 """
 
 from __future__ import annotations
@@ -101,6 +105,35 @@ def bench_drift(bench_dir: PathLike) -> List[BenchDrift]:
 
 def _format_rate(rate: Optional[float]) -> str:
     return "-" if rate is None else f"{100.0 * rate:.0f}%"
+
+
+def rundb_table(records: List[Any]) -> str:
+    """The paper-pipeline run table (:class:`repro.sweep.rundb.RunRecord`).
+
+    Oldest first, like the append-only log itself; the run id groups the
+    rows of one ``repro paper`` invocation.
+    """
+    from repro.experiments.tables import format_table
+
+    rows = []
+    for record in records:
+        rows.append(
+            [
+                record.run_id[:12],
+                record.experiment,
+                record.spec_hash[:12],
+                str(record.trials),
+                f"{record.shards_executed}",
+                f"{record.shards_cached}",
+                _format_rate(record.cache_hit_rate),
+                record.drift,
+            ]
+        )
+    return format_table(
+        ["run", "experiment", "spec", "trials", "shards run", "cached",
+         "hit-rate", "drift"],
+        rows,
+    )
 
 
 def runs_table(runs: List[RunSummary]) -> str:
@@ -201,16 +234,20 @@ def bench_table(rows: List[BenchDrift]) -> str:
 
 
 def stats_payload(
-    root: PathLike,
+    root: Optional[PathLike],
     bench_dir: Optional[PathLike] = None,
     run_id: Optional[str] = None,
     slowest: int = 5,
+    rundb_dir: Optional[PathLike] = None,
 ) -> Dict[str, Any]:
-    """The machine-readable ``repro stats --json`` document."""
-    runs = load_runs(root)
+    """The machine-readable ``repro stats --json`` document.
+
+    ``root=None`` skips the ledger sections (a ``--rundb``-only query).
+    """
+    runs = load_runs(root) if root is not None else []
     selected = _select_run(runs, run_id)
     payload: Dict[str, Any] = {
-        "ledger": str(Path(root)),
+        "ledger": str(Path(root)) if root is not None else None,
         "runs": [
             {
                 "run_id": run.run_id,
@@ -240,6 +277,12 @@ def stats_payload(
             "spec_hashes": selected.spec_hashes,
             "slowest_shards": selected.slowest_shards(slowest),
         }
+    if rundb_dir is not None:
+        from repro.sweep.rundb import RunDB
+
+        db = RunDB(rundb_dir)
+        payload["paper_runs"] = [r.to_dict() for r in db.records()]
+        payload["paper_index"] = db.index()
     return payload
 
 
@@ -256,15 +299,21 @@ def _select_run(
 
 
 def format_stats(
-    root: PathLike,
+    root: Optional[PathLike],
     bench_dir: Optional[PathLike] = None,
     run_id: Optional[str] = None,
     slowest: int = 5,
+    rundb_dir: Optional[PathLike] = None,
 ) -> str:
-    """The human-readable ``repro stats`` report."""
-    runs = load_runs(root)
+    """The human-readable ``repro stats`` report.
+
+    ``root=None`` skips the ledger sections (a ``--rundb``-only query).
+    """
+    runs = load_runs(root) if root is not None else []
     sections: List[str] = []
-    if not runs:
+    if root is None:
+        pass
+    elif not runs:
         sections.append(f"no ledger runs under {Path(root)}")
     else:
         sections.append(f"ledger: {Path(root)} ({len(runs)} runs)")
@@ -276,4 +325,15 @@ def format_stats(
     if drift:
         sections.append("bench floors (committed BENCH_*.json):")
         sections.append(bench_table(drift))
+    if rundb_dir is not None:
+        from repro.sweep.rundb import RunDB
+
+        records = RunDB(rundb_dir).records()
+        if records:
+            sections.append(
+                f"paper runs ({Path(rundb_dir)}, {len(records)} records):"
+            )
+            sections.append(rundb_table(records))
+        else:
+            sections.append(f"no paper runs under {Path(rundb_dir)}")
     return "\n\n".join(sections)

@@ -1,0 +1,207 @@
+"""Property tests for the self-contained HTML report renderer."""
+
+from html.parser import HTMLParser
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.html_report import (
+    ReportFigure,
+    render_paper_report,
+    result_table,
+)
+from repro.experiments.records import ExperimentResult, SeriesPoint
+
+#: Elements that never take a closing tag in HTML.
+_VOID_ELEMENTS = {
+    "area", "base", "br", "col", "embed", "hr", "img", "input",
+    "link", "meta", "param", "source", "track", "wbr",
+}
+
+
+class _WellFormedChecker(HTMLParser):
+    """Asserts balanced tags and collects the text content."""
+
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.stack = []
+        self.text = []
+        self.errors = []
+
+    def handle_starttag(self, tag, attrs):
+        if tag not in _VOID_ELEMENTS:
+            self.stack.append(tag)
+
+    def handle_startendtag(self, tag, attrs):
+        # Self-closed (SVG-style) tags open and close in place.
+        pass
+
+    def handle_endtag(self, tag):
+        if tag in _VOID_ELEMENTS:
+            return
+        if not self.stack:
+            self.errors.append(f"closing </{tag}> with nothing open")
+        elif self.stack[-1] != tag:
+            self.errors.append(
+                f"closing </{tag}> but <{self.stack[-1]}> is open"
+            )
+        else:
+            self.stack.pop()
+
+    def handle_data(self, data):
+        self.text.append(data)
+
+
+def assert_well_formed(document):
+    checker = _WellFormedChecker()
+    checker.feed(document)
+    checker.close()
+    assert not checker.errors, checker.errors
+    assert not checker.stack, f"unclosed tags: {checker.stack}"
+    return checker
+
+
+# Text strategies deliberately include markup metacharacters: the
+# escaping contract is that *no* user-controlled string can inject tags.
+_names = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs", "Cc"),
+    ),
+    min_size=1,
+    max_size=24,
+)
+_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6
+)
+
+
+@st.composite
+def experiment_results(draw):
+    num_points = draw(st.integers(min_value=0, max_value=6))
+    points = [
+        SeriesPoint(
+            series=draw(_names),
+            x=draw(_floats),
+            mean=draw(_floats),
+            std=draw(st.floats(0, 1e3, allow_nan=False)),
+            trials=draw(st.integers(0, 100)),
+        )
+        for _ in range(num_points)
+    ]
+    return ExperimentResult(
+        experiment=draw(_names), points=points, master_seed=draw(
+            st.integers(0, 2**31)
+        )
+    )
+
+
+@st.composite
+def report_figures(draw):
+    return ReportFigure(
+        name=draw(_names),
+        title=draw(_names),
+        description=draw(_names),
+        result=draw(st.one_of(st.none(), experiment_results())),
+        y_label=draw(_names),
+        x_label=draw(_names),
+        csv_filename=draw(st.one_of(st.just(""), _names)),
+        spec_hash=draw(st.just("") | st.text("0123456789abcdef", min_size=64, max_size=64)),
+        trials=draw(st.integers(0, 100)),
+        seed=draw(st.integers(0, 2**31)),
+    )
+
+
+class TestRenderedDocument:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        figures=st.lists(report_figures(), max_size=3),
+        provenance=st.dictionaries(_names, _names, max_size=4),
+        drift=st.lists(
+            st.tuples(
+                _names,
+                st.sampled_from(["PASS", "DRIFT", "MISSING", "SKIP"]),
+                _names,
+            ),
+            max_size=4,
+        ),
+    )
+    def test_always_well_formed_html(self, figures, provenance, drift):
+        document = render_paper_report(
+            figures, provenance=provenance, drift_rows=drift
+        )
+        assert document.startswith("<!DOCTYPE html>")
+        assert_well_formed(document)
+
+    @settings(max_examples=25, deadline=None)
+    @given(result=experiment_results())
+    def test_figures_with_points_embed_an_svg(self, result):
+        figure = ReportFigure(
+            name="x", title="t", description="d", result=result
+        )
+        document = render_paper_report([figure], provenance={})
+        if result.points:
+            assert "<svg" in document
+        assert_well_formed(document)
+
+    def test_hostile_strings_are_escaped(self):
+        hostile = '<script>alert("pwn")</script>'
+        result = ExperimentResult(
+            experiment=hostile,
+            points=[
+                SeriesPoint(series=hostile, x=1.0, mean=2.0, std=0.0,
+                            trials=3)
+            ],
+            master_seed=1,
+        )
+        figure = ReportFigure(
+            name=hostile, title=hostile, description=hostile, result=result
+        )
+        document = render_paper_report(
+            [figure],
+            provenance={hostile: hostile},
+            drift_rows=[(hostile, "DRIFT", hostile)],
+            title=hostile,
+            now=hostile,
+        )
+        assert "<script>" not in document
+        assert_well_formed(document)
+
+    def test_byte_identical_regeneration(self):
+        result = ExperimentResult(
+            experiment="e",
+            points=[
+                SeriesPoint(series="s", x=1.0, mean=2.0, std=0.5, trials=3)
+            ],
+            master_seed=9,
+        )
+        figure = ReportFigure(
+            name="e", title="T", description="D", result=result
+        )
+        render = lambda: render_paper_report(  # noqa: E731
+            [figure], provenance={"python": "3"}, drift_rows=[("e", "PASS", "ok")]
+        )
+        assert render() == render()
+
+    def test_stamp_only_with_now(self):
+        without = render_paper_report([], provenance={})
+        with_now = render_paper_report([], provenance={}, now="NOW-MARK")
+        assert "NOW-MARK" not in without
+        assert "generated: NOW-MARK" in with_now
+
+
+class TestResultTable:
+    def test_extra_columns_render_blank_when_absent(self):
+        result = ExperimentResult(
+            experiment="e",
+            points=[
+                SeriesPoint(series="a", x=1, mean=2, std=0, trials=3,
+                            extra={"ratio": 0.5}),
+                SeriesPoint(series="b", x=1, mean=2, std=0, trials=3),
+            ],
+            master_seed=0,
+        )
+        table = result_table(result, extra_columns=("ratio",))
+        assert "<th>ratio</th>" in table
+        assert "<td>0.5</td>" in table
+        assert "<td></td>" in table
+        assert_well_formed(table)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.experiments.report import build_report, build_sections
+from repro.telemetry import Collector, capture
 
 
 class TestReport:
@@ -34,3 +35,26 @@ class TestReport:
     def test_trials_validation(self):
         with pytest.raises(ValueError):
             build_sections(trials=1)
+
+
+class TestReportCaching:
+    """The report routes through the cached orchestrator."""
+
+    def test_byte_stable_and_warm_from_cache(self, tmp_path):
+        cache = tmp_path / "cache"
+        cold = build_report(trials=2, master_seed=11, cache_dir=cache)
+
+        with capture(Collector()) as collector:
+            warm = build_report(trials=2, master_seed=11, cache_dir=cache)
+        assert warm == cold
+        # Every orchestrated section served every shard from the store;
+        # only the (deliberately uncached) factor ablation ran fresh.
+        assert collector.counters.get("sweep.cache.miss", 0) == 0
+        assert collector.counters.get("sweep.cache.hit", 0) > 0
+
+    def test_cache_dir_does_not_change_bytes(self, tmp_path):
+        uncached = build_report(trials=2, master_seed=11)
+        cached = build_report(
+            trials=2, master_seed=11, cache_dir=tmp_path / "cache"
+        )
+        assert uncached == cached

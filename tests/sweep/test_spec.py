@@ -114,10 +114,20 @@ class TestCellValidation:
         with pytest.raises(ValueError, match="edge_probability"):
             fleet_cell(edge_probability=1.5)
 
+    def test_rejects_bad_theorem1(self):
+        with pytest.raises(ValueError, match="side"):
+            fleet_cell(family="theorem1", side=0)
+        with pytest.raises(ValueError, match="copies"):
+            fleet_cell(family="theorem1", side=4, copies=-1)
+
     def test_num_vertices(self):
         assert fleet_cell(n=80).num_vertices == 80
         grid = fleet_cell(family="grid", rows=4, cols=6)
         assert grid.num_vertices == 24
+        # copies=0 defaults to side: side * side*(side+1)/2 vertices.
+        thm = fleet_cell(family="theorem1", side=4)
+        assert thm.num_vertices == 4 * 10
+        assert fleet_cell(family="theorem1", side=4, copies=2).num_vertices == 20
 
     def test_graph_factory_matches_family(self):
         from random import Random
@@ -127,6 +137,8 @@ class TestCellValidation:
         grid = fleet_cell(family="grid", rows=3, cols=4).graph_factory()(Random(1))
         assert grid.num_vertices == 12
         assert grid.num_edges == 3 * 3 + 2 * 4  # grid edge count
+        thm = fleet_cell(family="theorem1", side=3).graph_factory()(Random(1))
+        assert thm.num_vertices == 3 * 6
 
     def test_round_trips_through_dict(self):
         for cell in (
@@ -135,6 +147,7 @@ class TestCellValidation:
             fleet_cell(backend="bitboard"),
             reference_cell(beep_loss=0.1, crashes=((2, 5),)),
             fleet_cell(family="grid", rows=5, cols=5),
+            fleet_cell(family="theorem1", side=6, copies=3),
         ):
             assert CellSpec.from_dict(cell.to_dict()) == cell
 
@@ -209,6 +222,30 @@ class TestShardHash:
             ShardSpec(cell, 0, 32).content_hash()
             != ShardSpec(cell, 32, 64).content_hash()
         )
+
+    def test_theorem1_hash_covers_side_and_copies(self):
+        base = fleet_cell(family="theorem1", side=6)
+        assert (
+            ShardSpec(base, 0, 8).content_hash()
+            != ShardSpec(fleet_cell(family="theorem1", side=8), 0, 8)
+            .content_hash()
+        )
+        assert (
+            ShardSpec(base, 0, 8).content_hash()
+            != ShardSpec(
+                fleet_cell(family="theorem1", side=6, copies=2), 0, 8
+            ).content_hash()
+        )
+
+    def test_theorem1_fields_absent_from_other_family_fingerprints(self):
+        """The v3 key format is unchanged for gnp/grid cells: the new
+        side/copies fields only enter the fingerprint under theorem1, so
+        every pre-existing store entry keeps its hash."""
+        assert "side" not in fleet_cell().execution_fingerprint()
+        grid = fleet_cell(family="grid", rows=4, cols=4)
+        assert "copies" not in grid.execution_fingerprint()
+        thm = fleet_cell(family="theorem1", side=5).execution_fingerprint()
+        assert (thm["side"], thm["copies"]) == (5, 0)
 
     def test_reference_hash_ignores_total_trials(self):
         """Reference trial t depends only on (master_seed, t): growing a

@@ -182,3 +182,69 @@ class TestFormatStats:
         assert "slowest shards" in report
         assert "bench floors" in report
         assert "6.00x" in report
+
+
+def _rundb_with_records(root):
+    from repro.sweep.rundb import RunDB, RunRecord
+
+    db = RunDB(root)
+    db.append(
+        RunRecord(
+            run_id="run-a", experiment="figure3", spec_hash="a" * 64,
+            trials=3, shards_total=6, shards_executed=6, shards_cached=0,
+            drift="MISSING",
+        )
+    )
+    db.append(
+        RunRecord(
+            run_id="run-b", experiment="figure3", spec_hash="a" * 64,
+            trials=3, shards_total=6, shards_executed=0, shards_cached=6,
+            drift="PASS",
+        )
+    )
+    return db
+
+
+class TestRunDBSection:
+    def test_format_stats_lists_paper_runs(self, tmp_path):
+        _rundb_with_records(tmp_path / "db")
+        report = format_stats(None, bench_dir=tmp_path,
+                              rundb_dir=tmp_path / "db")
+        assert "paper runs" in report
+        assert "figure3" in report
+        assert "PASS" in report and "MISSING" in report
+        assert "100%" in report  # the warm run's hit-rate
+
+    def test_rundb_only_query_skips_ledger_sections(self, tmp_path):
+        _rundb_with_records(tmp_path / "db")
+        report = format_stats(None, bench_dir=tmp_path,
+                              rundb_dir=tmp_path / "db")
+        assert "no ledger runs" not in report
+        assert "ledger:" not in report
+
+    def test_empty_rundb_reports_no_runs(self, tmp_path):
+        report = format_stats(None, bench_dir=tmp_path,
+                              rundb_dir=tmp_path / "empty")
+        assert "no paper runs" in report
+
+    def test_payload_carries_records_and_index(self, tmp_path):
+        _rundb_with_records(tmp_path / "db")
+        payload = stats_payload(None, bench_dir=tmp_path,
+                                rundb_dir=tmp_path / "db")
+        json.dumps(payload)  # --json mode must serialise
+        assert payload["ledger"] is None
+        assert [r["drift"] for r in payload["paper_runs"]] == [
+            "MISSING", "PASS"
+        ]
+        assert payload["paper_index"]["experiments"]["figure3"][
+            "last_drift"
+        ] == "PASS"
+
+    def test_ledger_and_rundb_combine(self, tmp_path):
+        ledger = tmp_path / "ledger"
+        _record_sweep(ledger, hits=1, misses=1)
+        _rundb_with_records(tmp_path / "db")
+        report = format_stats(ledger, bench_dir=tmp_path,
+                              rundb_dir=tmp_path / "db")
+        assert "ledger:" in report
+        assert "paper runs" in report

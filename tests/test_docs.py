@@ -41,13 +41,15 @@ def test_doc_files_present():
     assert "algorithms.md" in names
     assert "sweep.md" in names
     assert "observability.md" in names
+    assert "paper.md" in names
 
 
 def test_docs_index_orders_the_docs():
     """docs/README.md is the reading-order index of the doc set."""
     index = (REPO_ROOT / "docs" / "README.md").read_text(encoding="utf-8")
     ordered = ["TUTORIAL.md", "architecture.md", "algorithms.md",
-               "sweep.md", "robustness.md", "perf.md", "observability.md"]
+               "sweep.md", "robustness.md", "perf.md", "observability.md",
+               "paper.md"]
     positions = [index.find(name) for name in ordered]
     assert all(p >= 0 for p in positions), (
         f"docs/README.md must link all of {ordered}"
@@ -55,7 +57,7 @@ def test_docs_index_orders_the_docs():
     assert positions == sorted(positions), (
         "docs/README.md must keep the reading order "
         "TUTORIAL -> architecture -> algorithms -> sweep -> robustness "
-        "-> perf -> observability"
+        "-> perf -> observability -> paper"
     )
 
 
